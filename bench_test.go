@@ -1,0 +1,441 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, plus ablations and micro-benchmarks of the hot
+// paths. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches report the quantities the paper plots as custom metrics
+// (normalized exec %, wastefulness %, average workers), so a bench run is
+// itself a compact reproduction record. The full printable figures come
+// from cmd/palirria-bench.
+package palirria
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"palirria/internal/asteal"
+	"palirria/internal/core"
+	"palirria/internal/dvs"
+	"palirria/internal/experiments"
+	"palirria/internal/sim"
+	"palirria/internal/topo"
+	"palirria/internal/workload"
+)
+
+// --- Figure 4: workload input table --------------------------------------
+
+func BenchmarkFig4Inputs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(io.Discard)
+	}
+}
+
+// --- Figures 1, 2, 9: topology classifications ---------------------------
+
+func BenchmarkFig1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Multiprogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig9(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 5 and 6: the simulator platform -----------------------------
+
+// benchWorkloadSweep runs one workload's full configuration sweep and
+// reports the paper's metrics.
+func benchWorkloadSweep(b *testing.B, p experiments.Platform, wl string) {
+	b.Helper()
+	var wr experiments.WorkloadRuns
+	var err error
+	for i := 0; i < b.N; i++ {
+		wr, err = experiments.RunWorkload(p, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := wr.Fixed[0]
+	for _, r := range wr.Fixed[1:] {
+		if r.Result.ExecCycles < best.Result.ExecCycles {
+			best = r
+		}
+	}
+	b.ReportMetric(wr.ASteal.NormExec, "AS_exec_%")
+	b.ReportMetric(wr.Palirria.NormExec, "PA_exec_%")
+	b.ReportMetric(best.NormExec, "bestfixed_exec_%")
+	b.ReportMetric(wr.ASteal.WastePct, "AS_waste_%")
+	b.ReportMetric(wr.Palirria.WastePct, "PA_waste_%")
+	b.ReportMetric(wr.ASteal.AvgWorkers, "AS_avg_workers")
+	b.ReportMetric(wr.Palirria.AvgWorkers, "PA_avg_workers")
+}
+
+func BenchmarkFig5_FFT(b *testing.B)     { benchWorkloadSweep(b, experiments.SimPlatform(), "fft") }
+func BenchmarkFig5_Fib(b *testing.B)     { benchWorkloadSweep(b, experiments.SimPlatform(), "fib") }
+func BenchmarkFig5_NQueens(b *testing.B) { benchWorkloadSweep(b, experiments.SimPlatform(), "nqueens") }
+func BenchmarkFig5_Skew(b *testing.B)    { benchWorkloadSweep(b, experiments.SimPlatform(), "skew") }
+func BenchmarkFig5_Sort(b *testing.B)    { benchWorkloadSweep(b, experiments.SimPlatform(), "sort") }
+func BenchmarkFig5_Strassen(b *testing.B) {
+	benchWorkloadSweep(b, experiments.SimPlatform(), "strassen")
+}
+func BenchmarkFig5_Stress(b *testing.B) { benchWorkloadSweep(b, experiments.SimPlatform(), "stress") }
+
+func BenchmarkFig6_PerWorker(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		wr, err := experiments.RunWorkload(p, "strassen")
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.FigPerWorker(io.Discard, p, []experiments.WorkloadRuns{wr}, len(p.FixedSizes)-1)
+	}
+}
+
+// --- Figures 7 and 8: the Linux/NUMA platform ----------------------------
+
+func BenchmarkFig7_FFT(b *testing.B) { benchWorkloadSweep(b, experiments.LinuxPlatform(), "fft") }
+func BenchmarkFig7_Fib(b *testing.B) { benchWorkloadSweep(b, experiments.LinuxPlatform(), "fib") }
+func BenchmarkFig7_NQueens(b *testing.B) {
+	benchWorkloadSweep(b, experiments.LinuxPlatform(), "nqueens")
+}
+func BenchmarkFig7_Skew(b *testing.B) { benchWorkloadSweep(b, experiments.LinuxPlatform(), "skew") }
+func BenchmarkFig7_Sort(b *testing.B) { benchWorkloadSweep(b, experiments.LinuxPlatform(), "sort") }
+func BenchmarkFig7_Strassen(b *testing.B) {
+	benchWorkloadSweep(b, experiments.LinuxPlatform(), "strassen")
+}
+func BenchmarkFig7_Stress(b *testing.B) { benchWorkloadSweep(b, experiments.LinuxPlatform(), "stress") }
+
+func BenchmarkFig8_PerWorker(b *testing.B) {
+	p := experiments.LinuxPlatform()
+	for i := 0; i < b.N; i++ {
+		wr, err := experiments.RunWorkload(p, "strassen")
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.FigPerWorker(io.Discard, p, []experiments.WorkloadRuns{wr}, 4)
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+func BenchmarkAblationQuantum(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationQuantum(p, "bursty", []int64{5000, 20000, 50000, 200000, 800000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.ExecCycles), r.Label+"_cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationL(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationL(p, "fft", []int{-1, 0, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgWorkers, r.Label+"_avgw")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationVictim(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationVictim(p, "fib")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.ExecCycles), r.Label+"_cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationFilter(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationFilter(p, "bursty")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.Changes), r.Label+"_changes")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationStealableSlots(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationStealableSlots(p, "stress", []int{2, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.ExecCycles), r.Label+"_cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationEstimators(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationEstimators(p, "strassen")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.ExecCycles), r.Label+"_cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkEstimatorOverhead(b *testing.B) {
+	p := experiments.SimPlatform()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EstimatorOverhead(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(float64(last.PalirriaWorst), "PA_worst_inspected")
+			b.ReportMetric(float64(last.AStealInspected), "AS_inspected")
+		}
+	}
+}
+
+// BenchmarkMultiprogrammed runs the co-scheduling extension: three jobs
+// under fixed/asteal/palirria policies.
+func BenchmarkMultiprogrammed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Multiprogrammed(50000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.MakespanCycles), r.Label+"_makespan")
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ------------------------------------
+
+// BenchmarkSimulatorThroughput measures engine event throughput.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := topo.MustMesh(8, 4)
+	m.Reserve(0, 1)
+	d, _ := workload.Get("strassen")
+	var events, cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Mesh: m, Source: 20, Root: d.Root(workload.Simulator), InitialDiaspora: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		cycles += res.ExecCycles
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+}
+
+// BenchmarkPalirriaDecide measures one DMC evaluation on the largest
+// allotment — the estimator's per-quantum cost.
+func BenchmarkPalirriaDecide(b *testing.B) {
+	m := topo.MustMesh(8, 6)
+	m.Reserve(0, 1, 2)
+	a, err := topo.NewAllotment(m, 28, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	class := topo.Classify(a)
+	ws := make(map[topo.CoreID]*core.WorkerSnapshot, a.Size())
+	for _, id := range a.Members() {
+		ws[id] = &core.WorkerSnapshot{ID: id, QueueLen: 2, MaxQueueLen: 3, Busy: true}
+	}
+	snap := &core.Snapshot{Allotment: a, Class: class, Workers: ws, QuantumCycles: 50000}
+	p := core.NewPalirria()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Decide(snap)
+	}
+}
+
+// BenchmarkAStealEstimate measures one ASTEAL evaluation for comparison.
+func BenchmarkAStealEstimate(b *testing.B) {
+	m := topo.MustMesh(8, 6)
+	m.Reserve(0, 1, 2)
+	a, err := topo.NewAllotment(m, 28, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	class := topo.Classify(a)
+	ws := make(map[topo.CoreID]*core.WorkerSnapshot, a.Size())
+	for _, id := range a.Members() {
+		ws[id] = &core.WorkerSnapshot{ID: id, WastedCycles: 100}
+	}
+	snap := &core.Snapshot{Allotment: a, Class: class, Workers: ws, QuantumCycles: 50000}
+	est := asteal.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Estimate(snap)
+	}
+}
+
+// BenchmarkDVSVictimLists measures building the full DVS policy for the
+// largest allotment (done once per allotment change).
+func BenchmarkDVSVictimLists(b *testing.B) {
+	m := topo.MustMesh(8, 6)
+	m.Reserve(0, 1, 2)
+	a, err := topo.NewAllotment(m, 28, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := topo.Classify(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dvs.New(c)
+	}
+}
+
+// BenchmarkRTSpawnSync measures the real runtime's spawn+inline-sync fast
+// path (no steal): the "few hundred cycles" the paper cites for mature
+// work-stealing runtimes.
+func BenchmarkRTSpawnSync(b *testing.B) {
+	mesh := topo.MustMesh(2)
+	rt, err := NewRuntime(RTConfig{Mesh: mesh, Source: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ResetTimer()
+	if _, err := rt.Run(func(c *RTCtx) {
+		for i := 0; i < n; i++ {
+			c.Spawn(func(cc *RTCtx) {})
+			c.Sync()
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWorkloadExpansion measures lazy tree generation cost.
+func BenchmarkWorkloadExpansion(b *testing.B) {
+	for _, name := range []string{"fib", "nqueens", "sort"} {
+		d, _ := workload.Get(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				root := d.Root(workload.Simulator)
+				if root == nil {
+					b.Fatal("nil root")
+				}
+			}
+		})
+	}
+}
+
+// sink prevents dead-code elimination in micro-benches.
+var sink interface{}
+
+func BenchmarkClassifyLargest(b *testing.B) {
+	m := topo.MustMesh(8, 6)
+	m.Reserve(0, 1, 2)
+	a, err := topo.NewAllotment(m, 28, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = topo.Classify(a)
+	}
+	_ = fmt.Sprint(sink != nil)
+}
+
+// BenchmarkRTStealHeavy forces cross-worker steals on the real runtime: a
+// deep spawn chain whose children are taken by thieves.
+func BenchmarkRTStealHeavy(b *testing.B) {
+	mesh := topo.MustMesh(4, 2)
+	rt, err := NewRuntime(RTConfig{Mesh: mesh, InitialDiaspora: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ResetTimer()
+	if _, err := rt.Run(func(c *RTCtx) {
+		var fan func(cc *RTCtx, k int)
+		fan = func(cc *RTCtx, k int) {
+			if k <= 0 {
+				cc.Compute(200)
+				return
+			}
+			cc.Spawn(func(c3 *RTCtx) { fan(c3, k-1) })
+			cc.Compute(200)
+			cc.Sync()
+		}
+		for i := 0; i < n; i++ {
+			fan(c, 8)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRTFuture measures the typed-future fast path.
+func BenchmarkRTFuture(b *testing.B) {
+	mesh := topo.MustMesh(2)
+	rt, err := NewRuntime(RTConfig{Mesh: mesh})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ResetTimer()
+	if _, err := rt.Run(func(c *RTCtx) {
+		for i := 0; i < n; i++ {
+			f := GoRT(c, func(*RTCtx) int { return i })
+			if f.Join(c) != i {
+				panic("wrong value")
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

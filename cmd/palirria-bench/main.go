@@ -1,0 +1,180 @@
+// palirria-bench regenerates the paper's evaluation figures and tables.
+//
+// Usage:
+//
+//	palirria-bench -fig 3            # DVS flow arrows
+//	palirria-bench -fig 4            # workload input table
+//	palirria-bench -fig 5            # simulator performance (a/b/c)
+//	palirria-bench -fig 6            # simulator per-worker useful time
+//	palirria-bench -fig 7            # Linux-model performance (a/b/c)
+//	palirria-bench -fig 8            # Linux-model per-worker useful time
+//	palirria-bench -fig 9            # allotment classifications
+//	palirria-bench -summary          # headline PA-vs-AS aggregates
+//	palirria-bench -ablations        # quantum/L/victim/filter/overhead
+//	palirria-bench -all              # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"palirria/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1-9)")
+	summary := flag.Bool("summary", false, "print the headline summary for both platforms")
+	multiprog := flag.Bool("multiprog", false, "run the multiprogrammed co-scheduling extension")
+	rt := flag.Bool("rt", false, "run the workload set on the real goroutine runtime (noisy)")
+	seeds := flag.Int("seeds", 1, "seeds per configuration; >1 reports the second-best run (the paper ran 10)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	if !*all && !*summary && !*ablations && !*multiprog && !*rt && *fig == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	if err := run(*fig, *summary, *ablations, *multiprog, *rt, *all, *seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(total harness time: %s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(fig int, summary, ablations, multiprog, rt, all bool, nseeds int) error {
+	var seeds []uint64
+	if nseeds > 1 {
+		for i := 0; i < nseeds; i++ {
+			seeds = append(seeds, uint64(9+i))
+		}
+	}
+	out := os.Stdout
+	var simSuite, linuxSuite []experiments.WorkloadRuns
+	var err error
+	needSim := all || summary || fig == 5 || fig == 6
+	needLinux := all || summary || fig == 7 || fig == 8
+	simP, linuxP := experiments.SimPlatform(), experiments.LinuxPlatform()
+	if needSim {
+		fmt.Fprintf(out, "running simulator-platform suite (7 workloads x 6 configs x %d seed(s))...\n", max(1, nseeds))
+		if simSuite, err = experiments.RunSuiteSeeds(simP, seeds); err != nil {
+			return err
+		}
+	}
+	if needLinux {
+		fmt.Fprintf(out, "running Linux-model suite (7 workloads x 8 configs x %d seed(s))...\n", max(1, nseeds))
+		if linuxSuite, err = experiments.RunSuiteSeeds(linuxP, seeds); err != nil {
+			return err
+		}
+	}
+
+	show := func(n int) bool { return all || fig == n }
+	if show(1) {
+		if err := experiments.Fig1(out); err != nil {
+			return err
+		}
+	}
+	if show(2) {
+		if err := experiments.Fig2(out); err != nil {
+			return err
+		}
+	}
+	if show(3) {
+		if err := experiments.Fig3(out); err != nil {
+			return err
+		}
+	}
+	if show(4) {
+		experiments.Fig4(out)
+	}
+	if show(5) {
+		fmt.Fprintln(out, "\n================ Figure 5 ================")
+		experiments.FigPerformance(out, simP, simSuite)
+	}
+	if show(6) {
+		fmt.Fprintln(out, "\n================ Figure 6 ================")
+		experiments.FigPerWorker(out, simP, simSuite, len(simP.FixedSizes)-1)
+	}
+	if show(7) {
+		fmt.Fprintln(out, "\n================ Figure 7 ================")
+		experiments.FigPerformance(out, linuxP, linuxSuite)
+	}
+	if show(8) {
+		fmt.Fprintln(out, "\n================ Figure 8 ================")
+		// The paper normalizes Fig. 8 to the 42-worker run (index 4).
+		experiments.FigPerWorker(out, linuxP, linuxSuite, 4)
+	}
+	if show(9) {
+		if err := experiments.Fig9(out); err != nil {
+			return err
+		}
+	}
+	if all || summary {
+		fmt.Fprintln(out, "\n================ Summary ================")
+		experiments.PrintSummary(out, simP, experiments.Summarize(simSuite))
+		experiments.PrintSummary(out, linuxP, experiments.Summarize(linuxSuite))
+	}
+	if all || multiprog {
+		fmt.Fprintln(out, "\n================ Multiprogrammed ================")
+		rows, err := experiments.Multiprogrammed(simP.Quantum)
+		if err != nil {
+			return err
+		}
+		experiments.PrintMultiprogrammed(out, rows)
+	}
+	if rt { // not part of -all: wall-clock results are host-dependent
+		fmt.Fprintln(out, "\n================ Real runtime ================")
+		rows, err := experiments.RealRuntime(0)
+		if err != nil {
+			return err
+		}
+		experiments.PrintRealRuntime(out, rows)
+	}
+	if all || ablations {
+		fmt.Fprintln(out, "\n================ Ablations ================")
+		rows, err := experiments.AblationQuantum(simP, "bursty", []int64{5000, 20000, 50000, 200000, 800000})
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "Quantum length (palirria, bursty workload)", rows)
+		rows, err = experiments.AblationL(simP, "fft", []int{-1, 0, 1, 2})
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "Threshold L = µ(O)+offset (palirria, fft workload)", rows)
+		rows, err = experiments.AblationVictim(simP, "fib")
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "Victim selection at fixed 27 workers (fib workload)", rows)
+		rows, err = experiments.AblationFilter(simP, "bursty")
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "False-positive filter (palirria, bursty workload)", rows)
+		rows, err = experiments.AblationStealableSlots(simP, "stress", []int{1, 2, 4, 16, 64})
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "Stealable queue slots (palirria, stress workload)", rows)
+		rows, err = experiments.AblationPalirriaNeedsDVS(simP, "bursty")
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "Palirria requires DVS (bursty workload; random victims are invalid per §3.2)", rows)
+		rows, err = experiments.AblationEstimators(simP, "strassen")
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, "Estimator families (strassen workload)", rows)
+		orows, err := experiments.EstimatorOverhead(simP)
+		if err != nil {
+			return err
+		}
+		experiments.PrintOverhead(out, simP, orows)
+	}
+	return nil
+}

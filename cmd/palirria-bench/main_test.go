@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestRunStaticFigures exercises the cheap figure paths end to end (the
+// suite-driving paths are covered by the experiments package tests).
+func TestRunStaticFigures(t *testing.T) {
+	for _, fig := range []int{1, 2, 4, 9} {
+		if err := run(fig, false, false, false, false, false, 1); err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunMultiprogFlag(t *testing.T) {
+	if err := run(0, false, false, true, false, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}

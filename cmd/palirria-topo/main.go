@@ -1,0 +1,93 @@
+// palirria-topo visualizes mesh topologies, allotments and their DVS
+// classification (the paper's Figs. 1, 2 and 9).
+//
+// Usage:
+//
+//	palirria-topo -fig 1              # the paper's 41-worker illustration
+//	palirria-topo -fig 2              # three co-scheduled applications
+//	palirria-topo -fig 9              # the evaluation allotments
+//	palirria-topo -dims 8x6 -source 28 -d 3   # custom classification
+//	palirria-topo -dims 8x6 -source 28 -series # allotment size series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"palirria/internal/experiments"
+	"palirria/internal/plot"
+	"palirria/internal/topo"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render a paper figure (1, 2, 3, 9)")
+	dims := flag.String("dims", "8x4", "mesh dimensions, e.g. 8, 8x4, 4x4x4")
+	source := flag.Int("source", 20, "source core id")
+	d := flag.Int("d", 2, "diaspora")
+	reserved := flag.String("reserved", "0,1", "comma-separated reserved cores")
+	series := flag.Bool("series", false, "print the allotment size series instead")
+	flag.Parse()
+
+	if err := run(*fig, *dims, *source, *d, *reserved, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, dims string, source, d int, reserved string, series bool) error {
+	switch fig {
+	case 1:
+		return experiments.Fig1(os.Stdout)
+	case 2:
+		return experiments.Fig2(os.Stdout)
+	case 3:
+		return experiments.Fig3(os.Stdout)
+	case 9:
+		return experiments.Fig9(os.Stdout)
+	case 0:
+		// custom rendering below
+	default:
+		return fmt.Errorf("unknown figure %d (have 1, 2, 3, 9)", fig)
+	}
+
+	var extents []int
+	for _, part := range strings.Split(dims, "x") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad dims %q: %w", dims, err)
+		}
+		extents = append(extents, v)
+	}
+	m, err := topo.NewMesh(extents...)
+	if err != nil {
+		return err
+	}
+	if reserved != "" {
+		for _, part := range strings.Split(reserved, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad reserved list %q: %w", reserved, err)
+			}
+			m.Reserve(topo.CoreID(v))
+		}
+	}
+	if series {
+		maxD := m.MaxDiaspora(topo.CoreID(source))
+		fmt.Printf("%s, source %d: allotment sizes per diaspora\n", m, source)
+		for dd, size := range topo.ZoneSeries(m, topo.CoreID(source), maxD) {
+			fmt.Printf("  d=%d: %d workers\n", dd+1, size)
+		}
+		return nil
+	}
+	a, err := topo.NewAllotment(m, topo.CoreID(source), d)
+	if err != nil {
+		return err
+	}
+	plot.ClassGrid(os.Stdout,
+		fmt.Sprintf("%s: %d workers, source %d, diaspora %d", m, a.Size(), source, d),
+		topo.Classify(a))
+	return nil
+}

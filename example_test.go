@@ -1,0 +1,83 @@
+package palirria_test
+
+import (
+	"fmt"
+
+	"palirria"
+)
+
+// ExampleRunSim runs the Strassen workload under Palirria on the paper's
+// simulated 32-core platform. The simulator is deterministic, so this
+// output is stable across machines and runs.
+func ExampleRunSim() {
+	rep, err := palirria.RunSim(palirria.SimConfig{
+		Platform:  "sim32",
+		Workload:  "strassen",
+		Scheduler: "palirria",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("exec=%d cycles, peak %d workers, avg %.1f\n",
+		rep.ExecCycles, rep.MaxWorkers, rep.AvgWorkers)
+	// Output:
+	// exec=939767 cycles, peak 12 workers, avg 8.0
+}
+
+// ExampleClassify reproduces the DVS classification of the paper's Fig. 9a
+// allotment: 27 workers on the 8x4 simulator mesh.
+func ExampleClassify() {
+	mesh, _ := palirria.NewMesh(8, 4)
+	mesh.Reserve(0, 1)
+	a, _ := palirria.NewAllotment(mesh, 20, 4)
+	c := palirria.Classify(a)
+	fmt.Printf("%d workers: |X|=%d |Z|=%d |F|=%d\n",
+		a.Size(), len(c.X()), len(c.Z()), len(c.F()))
+	// Output:
+	// 27 workers: |X|=10 |Z|=7 |F|=10
+}
+
+// ExampleNewMesh shows the zone series the system scheduler steps through
+// on the paper's 48-core platform.
+func ExampleNewMesh() {
+	mesh, _ := palirria.NewMesh(8, 6)
+	mesh.Reserve(0, 1, 2)
+	for d := 1; d <= 6; d++ {
+		a, _ := palirria.NewAllotment(mesh, 28, d)
+		fmt.Printf("d=%d: %d workers\n", d, a.Size())
+	}
+	// Output:
+	// d=1: 5 workers
+	// d=2: 13 workers
+	// d=3: 24 workers
+	// d=4: 35 workers
+	// d=5: 42 workers
+	// d=6: 45 workers
+}
+
+// ExampleRunSim_customWorkload models an application with the task DSL and
+// evaluates it under a fixed WOOL allotment.
+func ExampleRunSim_customWorkload() {
+	var fan func(n int) *palirria.TaskSpec
+	fan = func(n int) *palirria.TaskSpec {
+		if n <= 1 {
+			return palirria.Leaf("leaf", 1000)
+		}
+		return &palirria.TaskSpec{Ops: []palirria.TaskOp{
+			palirria.Spawn(func() *palirria.TaskSpec { return fan(n / 2) }),
+			palirria.Call(func() *palirria.TaskSpec { return fan(n - n/2) }),
+			palirria.Sync(),
+		}}
+	}
+	rep, err := palirria.RunSim(palirria.SimConfig{
+		Root:      fan(128),
+		Scheduler: "wool",
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tasks=%d workers=%d\n", rep.Tasks, rep.MaxWorkers)
+	// Output:
+	// tasks=255 workers=27
+}

@@ -1,0 +1,94 @@
+// Adaptiveserver demonstrates the paper's motivating scenario (§1): a
+// server-like application whose parallelism fluctuates with incoming load.
+// A Palirria-adaptive runtime serves synthetic request waves on real
+// goroutines; the allotment grows into the bursts and shrinks in the
+// valleys, which is exactly the resource conservation the paper's two-level
+// scheduling aims for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"palirria"
+)
+
+// wave describes one load phase: how many requests arrive and how much
+// work each carries.
+type wave struct {
+	name     string
+	requests int
+	workUnit int64
+}
+
+func main() {
+	// A 4x4 virtual mesh: sixteen workers laid out for DVS. On small
+	// hosts they timeshare; the estimation dynamics are the same.
+	mesh, err := palirria.NewMesh(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := palirria.NewRuntime(palirria.RTConfig{
+		Mesh:      mesh,
+		Source:    5, // an interior core, like the paper's platforms
+		Estimator: palirria.NewPalirria(),
+		Quantum:   time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	waves := []wave{
+		{"overnight (idle)", 4, 400_000},
+		{"morning ramp", 64, 400_000},
+		{"peak", 256, 400_000},
+		{"lunch dip", 16, 400_000},
+		{"evening burst", 192, 400_000},
+		{"night (idle)", 4, 400_000},
+	}
+
+	var served atomic.Int64
+	rep, err := rt.Run(func(c *palirria.RTCtx) {
+		for _, w := range waves {
+			// Requests fan out as a nested tree (each request may spawn
+			// sub-queries), then the wave drains before the next arrives.
+			serveWave(c, w, &served)
+			c.Compute(2_000_000) // quiet period between waves
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served %d requests in %.1fms\n", served.Load(), float64(rep.WallNS)/1e6)
+	fmt.Println("\nallotment over time (palirria follows the load):")
+	for _, p := range rep.Timeline.Points() {
+		bar := ""
+		for i := 0; i < p.Workers; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  t=%7.2fms %2d %s\n", float64(p.Time)/1e6, p.Workers, bar)
+	}
+	fmt.Printf("\n%d estimator decisions, peak %d workers\n",
+		len(rep.Decisions.Decisions()), rep.MaxWorkers)
+}
+
+// serveWave fans the wave's requests out as a binary spawn tree so stolen
+// subtrees keep feeding thieves' queues (nested fork/join parallelism).
+func serveWave(c *palirria.RTCtx, w wave, served *atomic.Int64) {
+	var fan func(cc *palirria.RTCtx, n int)
+	fan = func(cc *palirria.RTCtx, n int) {
+		if n <= 1 {
+			// One request: parse, query, render.
+			cc.Compute(w.workUnit)
+			served.Add(1)
+			return
+		}
+		cc.Spawn(func(c3 *palirria.RTCtx) { fan(c3, n/2) })
+		fan(cc, n-n/2)
+		cc.Sync()
+	}
+	fan(c, w.requests)
+}

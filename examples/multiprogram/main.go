@@ -1,0 +1,119 @@
+// Multiprogram reproduces the deployment of the paper's Fig. 2: several
+// task-parallel applications co-scheduled on one mesh, each holding an
+// incomplete allotment that grows and shrinks as its demand changes while
+// the arbiter keeps grants disjoint.
+//
+// The demo scripts three applications through demand phases, printing the
+// mesh ownership map and each application's DVS classification — note how
+// the classes stay well-defined (and victim lists non-empty) even when an
+// allotment is scattered around its competitors.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"palirria"
+)
+
+func main() {
+	mesh, err := palirria.NewMesh(9, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh.Reserve(0, 1) // system scheduler + helper threads
+
+	ab := palirria.NewArbiter(mesh)
+	web, err := ab.Register("web", mesh.ID(palirria.Coord{X: 2, Y: 2}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := ab.Register("batch", mesh.ID(palirria.Coord{X: 6, Y: 2}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ml, err := ab.Register("ml", mesh.ID(palirria.Coord{X: 4, Y: 6}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Demand phases: (web, batch, ml) desired workers over time, as their
+	// estimators would request them.
+	phases := []struct {
+		name           string
+		web, batch, ml int
+	}{
+		{"steady state", 9, 9, 9},
+		{"web traffic spike", 30, 9, 9},
+		{"spike over, ml training starts", 9, 9, 40},
+		{"batch window, everyone busy", 20, 30, 30},
+		{"night: all quiet", 5, 5, 5},
+	}
+
+	for _, ph := range phases {
+		ab.Request(web, ph.web)
+		ab.Request(batch, ph.batch)
+		ab.Request(ml, ph.ml)
+		fmt.Printf("\n=== %s (desired web=%d batch=%d ml=%d) ===\n",
+			ph.name, ph.web, ph.batch, ph.ml)
+		palirria.RenderOwnership(os.Stdout, "mesh ownership:", mesh,
+			[]*palirria.Allotment{web.Allotment(), batch.Allotment(), ml.Allotment()})
+		for _, app := range ab.Apps() {
+			a := app.Allotment()
+			c := palirria.Classify(a)
+			complete := "incomplete"
+			if c.Complete() {
+				complete = "complete"
+			}
+			fmt.Printf("  %-6s %2d workers, diaspora %d, |X|=%d |Z|=%d |F|=%d (%s classes)\n",
+				app.Name, a.Size(), a.Diaspora(), len(c.X()), len(c.Z()), len(c.F()), complete)
+		}
+		fmt.Printf("  free cores: %d\n", ab.FreeCores())
+	}
+
+	// Zoom in on one contended allotment's classification.
+	fmt.Println("\n=== ml application classified under contention ===")
+	palirria.RenderClassGrid(os.Stdout, "DVS classes of the ml allotment:", palirria.Classify(ml.Allotment()))
+
+	// And finally run three real co-scheduled jobs end to end on the
+	// simulator: each adapts with Palirria while competing for cores.
+	fmt.Println("\n=== co-scheduled execution (3 adaptive jobs, one mesh) ===")
+	runMesh, err := palirria.NewMesh(9, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runMesh.Reserve(0, 1)
+	roots := map[string]string{"web": "bursty", "batch": "sort", "ml": "strassen"}
+	var jobs []palirria.SimJob
+	for _, jd := range []struct {
+		name string
+		src  palirria.Coord
+	}{
+		{"web", palirria.Coord{X: 2, Y: 2}},
+		{"batch", palirria.Coord{X: 6, Y: 2}},
+		{"ml", palirria.Coord{X: 4, Y: 6}},
+	} {
+		root, err := palirria.WorkloadRoot(roots[jd.name], "sim32")
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, palirria.SimJob{
+			Name:      jd.name,
+			Source:    runMesh.ID(jd.src),
+			Root:      root,
+			Estimator: palirria.NewPalirria(),
+		})
+	}
+	res, err := palirria.SimRunMulti(palirria.SimMultiConfig{
+		Mesh: runMesh, Jobs: jobs, Quantum: 25000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine makespan: %d cycles\n", res.MakespanCycles)
+	for _, jr := range res.Jobs {
+		fmt.Printf("  %-6s finished at %9d cycles, peak %2d workers\n",
+			jr.Name, jr.FinishCycles, jr.Timeline.Max())
+	}
+}

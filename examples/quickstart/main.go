@@ -1,0 +1,79 @@
+// Quickstart: run one workload on each platform under the three
+// schedulers, and a tiny real-threads computation — the five-minute tour
+// of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"palirria"
+)
+
+func main() {
+	// 1. Deterministic simulator: compare the paper's three scheduler
+	//    configurations on the Strassen workload.
+	fmt.Println("== simulator: strassen on the 32-core platform ==")
+	for _, sched := range []string{"wool", "asteal", "palirria"} {
+		rep, err := palirria.RunSim(palirria.SimConfig{
+			Platform:  "sim32",
+			Workload:  "strassen",
+			Scheduler: sched,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s exec=%9d cycles  workers: max %2d avg %4.1f  waste=%4.1f%%\n",
+			sched, rep.ExecCycles, rep.MaxWorkers, rep.AvgWorkers, rep.WastefulnessPercent)
+	}
+
+	// 2. The estimator's view: watch Palirria's allotment follow a bursty
+	//    parallelism profile.
+	fmt.Println("\n== simulator: palirria adapting to bursty parallelism ==")
+	rep, err := palirria.RunSim(palirria.SimConfig{
+		Workload:  "bursty",
+		Scheduler: "palirria",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range rep.Timeline.Points() {
+		fmt.Printf("  t=%9d cycles  -> %2d workers\n", p.Time, p.Workers)
+	}
+
+	// 3. Real goroutines: the same programming model (Spawn/Sync) running
+	//    actual code — a parallel Fibonacci.
+	fmt.Println("\n== real runtime: parallel fib(30) ==")
+	// An explicit 4x2 virtual mesh: on hosts with fewer CPUs the eight
+	// workers timeshare, on bigger hosts they run truly in parallel.
+	mesh, err := palirria.NewMesh(4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := palirria.NewRuntime(palirria.RTConfig{
+		Mesh:            mesh,
+		InitialDiaspora: 99, // start with every worker
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result int64
+	var fib func(c *palirria.RTCtx, n int, out *int64)
+	fib = func(c *palirria.RTCtx, n int, out *int64) {
+		if n < 2 {
+			*out = int64(n)
+			return
+		}
+		var a, b int64
+		c.Spawn(func(cc *palirria.RTCtx) { fib(cc, n-1, &a) })
+		fib(c, n-2, &b)
+		c.Sync()
+		*out = a + b
+	}
+	rtRep, err := rt.Run(func(c *palirria.RTCtx) { fib(c, 30, &result) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fib(30) = %d in %.2fms across %d workers\n",
+		result, float64(rtRep.WallNS)/1e6, len(rtRep.Workers))
+}

@@ -1,0 +1,3 @@
+module palirria
+
+go 1.22

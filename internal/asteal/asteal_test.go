@@ -1,0 +1,145 @@
+package asteal
+
+import (
+	"testing"
+
+	"palirria/internal/core"
+	"palirria/internal/topo"
+)
+
+// snap builds a snapshot with uniform per-worker wasted cycles.
+func snap(t testing.TB, d int, wastedPerWorker int64) *core.Snapshot {
+	t.Helper()
+	m := topo.MustMesh(8, 4)
+	m.Reserve(0, 1)
+	a, err := topo.NewAllotment(m, 20, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make(map[topo.CoreID]*core.WorkerSnapshot, a.Size())
+	for _, id := range a.Members() {
+		ws[id] = &core.WorkerSnapshot{ID: id, WastedCycles: wastedPerWorker}
+	}
+	return &core.Snapshot{
+		Allotment:     a,
+		Class:         topo.Classify(a),
+		Workers:       ws,
+		QuantumCycles: 100000,
+	}
+}
+
+func TestEfficientSatisfiedIncreases(t *testing.T) {
+	a := New()
+	// Zero waste: efficient. First call initializes desire to current size
+	// and is satisfied by construction -> desire *= rho.
+	s := snap(t, 1, 0) // 5 workers
+	got := a.Estimate(s)
+	cur := 5.0
+	want := int(cur*DefaultRho + 0.5)
+	if got != want {
+		t.Fatalf("Estimate = %d, want %d", got, want)
+	}
+}
+
+func TestInefficientDecreases(t *testing.T) {
+	a := New()
+	// Waste everything: with delta=0.8, wasted > 0.2*total -> inefficient.
+	s := snap(t, 2, 100000) // every cycle wasted
+	got := a.Estimate(s)
+	cur := 12.0
+	want := int(cur/DefaultRho + 0.5)
+	if got != want {
+		t.Fatalf("Estimate = %d, want %d", got, want)
+	}
+}
+
+func TestEfficiencyThresholdBoundary(t *testing.T) {
+	a := New()
+	// wasted just below (1-delta)*total: still efficient.
+	s := snap(t, 1, 9999) // < 0.1 * 100000 per worker
+	got := a.Estimate(s)
+	if got <= 5 {
+		t.Fatalf("Estimate = %d, want increase just below the threshold", got)
+	}
+	// wasted just above: inefficient.
+	b := New()
+	if got := b.Estimate(snap(t, 1, 10001)); got >= 5 {
+		t.Fatalf("Estimate = %d, want decrease just above the threshold", got)
+	}
+}
+
+func TestDeprivedHoldsDesire(t *testing.T) {
+	a := New()
+	s := snap(t, 1, 0)
+	d1 := a.Estimate(s) // asks for ~8
+	a.Granted(5)        // system grants less: deprived
+	// Still efficient but deprived: desire unchanged.
+	d2 := a.Estimate(snap(t, 1, 0))
+	if d2 != d1 {
+		t.Fatalf("deprived desire moved: %d -> %d", d1, d2)
+	}
+	// Once satisfied again (granted >= desired), it grows.
+	a.Granted(d2)
+	d3 := a.Estimate(snap(t, 1, 0))
+	if d3 <= d2 {
+		t.Fatalf("satisfied desire did not grow: %d -> %d", d2, d3)
+	}
+}
+
+func TestDesireFloorsAtOne(t *testing.T) {
+	a := New()
+	var got int
+	for i := 0; i < 20; i++ {
+		got = a.Estimate(snap(t, 1, 100000))
+	}
+	if got != 1 {
+		t.Fatalf("desire floor = %d, want 1", got)
+	}
+}
+
+func TestDesireCapsAtUsable(t *testing.T) {
+	a := New()
+	var got int
+	for i := 0; i < 30; i++ {
+		got = a.Estimate(snap(t, 1, 0))
+		a.Granted(got)
+	}
+	if got != 30 { // 8x4 minus 2 reserved
+		t.Fatalf("desire cap = %d, want 30", got)
+	}
+}
+
+func TestCustomParameters(t *testing.T) {
+	a := &ASteal{Delta: 0.5, Rho: 2.0}
+	s := snap(t, 1, 60000) // 60% wasted > (1-0.5)=50% -> inefficient
+	got := a.Estimate(s)
+	if got != 3 { // 5/2 rounded
+		t.Fatalf("Estimate = %d, want 3", got)
+	}
+}
+
+func TestDrainingWorkersExcluded(t *testing.T) {
+	// Only granted members are summed; a stray worker entry outside the
+	// allotment must not affect the decision.
+	a := New()
+	s := snap(t, 1, 0)
+	s.Workers[topo.CoreID(7)] = &core.WorkerSnapshot{ID: 7, WastedCycles: 1 << 40}
+	got := a.Estimate(s)
+	if got <= 5 {
+		t.Fatalf("non-member waste affected the decision: %d", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "asteal" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestDesireAccessor(t *testing.T) {
+	a := New()
+	a.Estimate(snap(t, 1, 0))
+	if a.Desire() <= 5 {
+		t.Fatalf("Desire() = %v, want > 5", a.Desire())
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import "testing"
+
+func TestFilterIncreaseImmediate(t *testing.T) {
+	f := NewFilter()
+	if got := f.Apply(5, 12); got != 12 {
+		t.Fatalf("Apply(5,12) = %d, want 12 (increase passes immediately)", got)
+	}
+}
+
+func TestFilterDecreaseDebounced(t *testing.T) {
+	f := NewFilter()
+	if got := f.Apply(12, 5); got != 12 {
+		t.Fatalf("first decrease passed: %d", got)
+	}
+	if got := f.Apply(12, 5); got != 5 {
+		t.Fatalf("second consecutive decrease blocked: %d", got)
+	}
+}
+
+func TestFilterStreakBrokenByKeep(t *testing.T) {
+	f := NewFilter()
+	f.Apply(12, 5)  // decrease #1
+	f.Apply(12, 12) // keep resets the streak
+	if got := f.Apply(12, 5); got != 12 {
+		t.Fatalf("decrease after broken streak passed: %d", got)
+	}
+	if got := f.Apply(12, 5); got != 5 {
+		t.Fatalf("second decrease after reset blocked: %d", got)
+	}
+}
+
+func TestFilterStreakBrokenByOpposite(t *testing.T) {
+	f := NewFilter()
+	f.Apply(12, 5) // decrease #1
+	// An increase interrupts: passes immediately and resets.
+	if got := f.Apply(12, 20); got != 20 {
+		t.Fatalf("increase blocked: %d", got)
+	}
+	if got := f.Apply(20, 12); got != 20 {
+		t.Fatalf("decrease #1 after increase passed: %d", got)
+	}
+}
+
+func TestFilterConfiguredCounts(t *testing.T) {
+	f := &Filter{ConfirmIncrease: 3, ConfirmDecrease: 1}
+	if got := f.Apply(5, 12); got != 5 {
+		t.Fatal("increase 1/3 passed")
+	}
+	if got := f.Apply(5, 12); got != 5 {
+		t.Fatal("increase 2/3 passed")
+	}
+	if got := f.Apply(5, 12); got != 12 {
+		t.Fatal("increase 3/3 blocked")
+	}
+	if got := f.Apply(12, 5); got != 5 {
+		t.Fatal("decrease with confirm=1 blocked")
+	}
+}
+
+func TestFilterZeroCountClamped(t *testing.T) {
+	f := &Filter{ConfirmIncrease: 0, ConfirmDecrease: 0}
+	if got := f.Apply(5, 12); got != 12 {
+		t.Fatal("confirm 0 must behave like 1")
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f := NewFilter()
+	f.Apply(12, 5)
+	f.Reset()
+	if got := f.Apply(12, 5); got != 12 {
+		t.Fatal("reset did not clear the streak")
+	}
+}
+
+// fakeEst returns a scripted sequence of desires.
+type fakeEst struct {
+	script  []int
+	i       int
+	granted []int
+}
+
+func (f *fakeEst) Name() string { return "fake" }
+func (f *fakeEst) Estimate(s *Snapshot) int {
+	v := f.script[f.i%len(f.script)]
+	f.i++
+	return v
+}
+func (f *fakeEst) Granted(w int) { f.granted = append(f.granted, w) }
+
+func TestControllerStepAndGranted(t *testing.T) {
+	est := &fakeEst{script: []int{12, 5, 5}}
+	c := NewController(est)
+	s := snap(t, 1, nil) // size 5
+	if got := c.Step(s); got != 12 {
+		t.Fatalf("step 1 = %d, want 12", got)
+	}
+	c.Granted(12)
+	// Decrease takes two consecutive quanta through the default filter.
+	s12 := snap(t, 2, nil)
+	if got := c.Step(s12); got != 12 {
+		t.Fatalf("step 2 = %d, want filtered 12", got)
+	}
+	if got := c.Step(s12); got != 5 {
+		t.Fatalf("step 3 = %d, want 5", got)
+	}
+	if c.Decisions() != 3 {
+		t.Fatalf("Decisions = %d, want 3", c.Decisions())
+	}
+	if len(est.granted) != 1 || est.granted[0] != 12 {
+		t.Fatalf("granted log = %v", est.granted)
+	}
+}
+
+func TestControllerNilFilter(t *testing.T) {
+	est := &fakeEst{script: []int{5}}
+	c := &Controller{Est: est}
+	s := snap(t, 2, nil) // size 12
+	if got := c.Step(s); got != 5 {
+		t.Fatalf("unfiltered step = %d, want raw 5", got)
+	}
+}

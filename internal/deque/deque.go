@@ -1,0 +1,123 @@
+// Package deque provides the task queues used by the work-stealing
+// schedulers.
+//
+// Two implementations exist because the two platforms have different needs:
+//
+//   - Queue is a plain bounded ring buffer used by the deterministic
+//     discrete-event simulator, where all accesses happen on one goroutine
+//     and determinism matters more than synchronization.
+//   - ChaseLev is a bounded lock-free work-stealing deque (Chase & Lev,
+//     SPAA'05) used by the real-threads runtime, where the owner pushes and
+//     pops at the bottom while concurrent thieves steal from the top.
+//
+// Both follow WOOL's queue discipline: the owner operates LIFO at the bottom
+// (work-first: the most recently spawned task is popped at sync), thieves
+// take the oldest task from the top, and the queue has a bounded number of
+// stealable slots — the oldest min(size, stealable) entries. The stealable
+// count is the µ(Q) metric Palirria's Diaspora Malleability Conditions read.
+package deque
+
+import "fmt"
+
+// Queue is the simulator's task queue: a bounded ring buffer with owner
+// operations at the bottom and steals at the top. Not safe for concurrent
+// use; the simulator is single-threaded by design.
+type Queue[T any] struct {
+	buf       []T
+	top       int // index of the oldest element
+	size      int
+	stealable int // max entries exposed to thieves, counted from the top
+}
+
+// NewQueue returns a queue with the given capacity and stealable slot
+// count. Capacity must be positive; stealable must be in [1, capacity].
+func NewQueue[T any](capacity, stealable int) (*Queue[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("deque: capacity %d must be positive", capacity)
+	}
+	if stealable < 1 || stealable > capacity {
+		return nil, fmt.Errorf("deque: stealable %d out of [1, %d]", stealable, capacity)
+	}
+	return &Queue[T]{buf: make([]T, capacity), stealable: stealable}, nil
+}
+
+// MustQueue is NewQueue that panics on error.
+func MustQueue[T any](capacity, stealable int) *Queue[T] {
+	q, err := NewQueue[T](capacity, stealable)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// StealableLen returns µ(Q): the number of tasks a thief could take, i.e.
+// min(Len, stealable slots).
+func (q *Queue[T]) StealableLen() int {
+	if q.size < q.stealable {
+		return q.size
+	}
+	return q.stealable
+}
+
+// PushBottom appends a task at the bottom (owner side). It returns false
+// when the queue is full; WOOL handles overflow by executing the task
+// inline, and the simulator's workers do the same.
+func (q *Queue[T]) PushBottom(v T) bool {
+	if q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.top+q.size)%len(q.buf)] = v
+	q.size++
+	return true
+}
+
+// PopBottom removes and returns the most recently pushed task (owner side).
+// ok is false when the queue is empty.
+func (q *Queue[T]) PopBottom() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	q.size--
+	i := (q.top + q.size) % len(q.buf)
+	v = q.buf[i]
+	var zero T
+	q.buf[i] = zero
+	return v, true
+}
+
+// StealTop removes and returns the oldest task (thief side). ok is false
+// when no stealable task exists.
+func (q *Queue[T]) StealTop() (v T, ok bool) {
+	if q.StealableLen() == 0 {
+		return v, false
+	}
+	v = q.buf[q.top]
+	var zero T
+	q.buf[q.top] = zero
+	q.top = (q.top + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// PeekBottom returns the most recently pushed task without removing it.
+func (q *Queue[T]) PeekBottom() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	return q.buf[(q.top+q.size-1)%len(q.buf)], true
+}
+
+// Reset empties the queue, dropping all entries.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := range q.buf {
+		q.buf[i] = zero
+	}
+	q.top, q.size = 0, 0
+}

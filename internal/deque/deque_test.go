@@ -1,0 +1,215 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := NewQueue[int](0, 1); err == nil {
+		t.Error("capacity 0 must fail")
+	}
+	if _, err := NewQueue[int](4, 0); err == nil {
+		t.Error("stealable 0 must fail")
+	}
+	if _, err := NewQueue[int](4, 5); err == nil {
+		t.Error("stealable > capacity must fail")
+	}
+	if q := MustQueue[int](4, 2); q.Cap() != 4 {
+		t.Error("cap wrong")
+	}
+}
+
+func TestMustQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustQueue[int](0, 0)
+}
+
+func TestQueueLIFOOwner(t *testing.T) {
+	q := MustQueue[int](8, 8)
+	for i := 1; i <= 5; i++ {
+		if !q.PushBottom(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 5; i >= 1; i-- {
+		v, ok := q.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("pop = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+	if _, ok := q.PopBottom(); ok {
+		t.Fatal("pop from empty must fail")
+	}
+}
+
+func TestQueueFIFOThief(t *testing.T) {
+	q := MustQueue[int](8, 8)
+	for i := 1; i <= 5; i++ {
+		q.PushBottom(i)
+	}
+	for i := 1; i <= 5; i++ {
+		v, ok := q.StealTop()
+		if !ok || v != i {
+			t.Fatalf("steal = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+	if _, ok := q.StealTop(); ok {
+		t.Fatal("steal from empty must fail")
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	q := MustQueue[int](2, 1)
+	if !q.PushBottom(1) || !q.PushBottom(2) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.PushBottom(3) {
+		t.Fatal("push beyond capacity must fail")
+	}
+}
+
+func TestQueueStealableWindow(t *testing.T) {
+	// With 2 stealable slots, µ(Q) is capped at 2 regardless of depth.
+	q := MustQueue[int](8, 2)
+	for i := 1; i <= 6; i++ {
+		q.PushBottom(i)
+	}
+	if got := q.StealableLen(); got != 2 {
+		t.Fatalf("StealableLen = %d, want 2", got)
+	}
+	if got := q.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	// Stealing drains oldest-first; the window slides.
+	v, _ := q.StealTop()
+	if v != 1 {
+		t.Fatalf("stole %d, want 1", v)
+	}
+	if got := q.StealableLen(); got != 2 {
+		t.Fatalf("StealableLen after steal = %d, want 2", got)
+	}
+	// Drain to below the stealable limit.
+	for q.Len() > 1 {
+		q.StealTop()
+	}
+	if got := q.StealableLen(); got != 1 {
+		t.Fatalf("StealableLen = %d, want 1", got)
+	}
+}
+
+func TestQueuePeekBottom(t *testing.T) {
+	q := MustQueue[int](4, 4)
+	if _, ok := q.PeekBottom(); ok {
+		t.Fatal("peek on empty must fail")
+	}
+	q.PushBottom(7)
+	q.PushBottom(9)
+	if v, ok := q.PeekBottom(); !ok || v != 9 {
+		t.Fatalf("peek = (%d, %v)", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek must not remove")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := MustQueue[int](4, 4)
+	// Interleave pushes and steals to force the ring to wrap several times.
+	next, expect := 0, 0
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 3; i++ {
+			q.PushBottom(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.StealTop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: steal = (%d, %v), want (%d, true)", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	q := MustQueue[int](4, 4)
+	q.PushBottom(1)
+	q.PushBottom(2)
+	q.Reset()
+	if q.Len() != 0 || q.StealableLen() != 0 {
+		t.Fatal("reset did not empty the queue")
+	}
+	if _, ok := q.PopBottom(); ok {
+		t.Fatal("pop after reset must fail")
+	}
+}
+
+// Property: any interleaving of pushes, pops, and steals behaves like the
+// reference model (a slice with owner at the back, thief at the front).
+func TestQueueMatchesModel(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 push, 1 pop, 2 steal
+		Val  int
+	}
+	f := func(ops []op) bool {
+		q := MustQueue[int](16, 16)
+		var model []int
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				want := len(model) < 16
+				got := q.PushBottom(o.Val)
+				if got != want {
+					return false
+				}
+				if want {
+					model = append(model, o.Val)
+				}
+			case 1:
+				v, ok := q.PopBottom()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						return false
+					}
+				}
+			case 2:
+				v, ok := q.StealTop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if v != want {
+						return false
+					}
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := MustQueue[int](64, 8)
+	for i := 0; i < b.N; i++ {
+		q.PushBottom(i)
+		q.PopBottom()
+	}
+}

@@ -1,0 +1,112 @@
+package deque
+
+import "testing"
+
+// FuzzQueueModel drives the simulator queue with an arbitrary operation
+// tape and compares against a slice-backed reference model.
+func FuzzQueueModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 2, 1})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		q := MustQueue[int](8, 4)
+		var model []int
+		next := 0
+		for _, op := range tape {
+			switch op % 3 {
+			case 0: // push
+				ok := q.PushBottom(next)
+				if ok != (len(model) < 8) {
+					t.Fatalf("push ok=%v with model len %d", ok, len(model))
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := q.PopBottom()
+				if ok != (len(model) > 0) {
+					t.Fatalf("pop ok=%v with model len %d", ok, len(model))
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						t.Fatalf("pop %d, want %d", v, want)
+					}
+				}
+			case 2: // steal
+				v, ok := q.StealTop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("steal ok=%v with model len %d", ok, len(model))
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if v != want {
+						t.Fatalf("steal %d, want %d", v, want)
+					}
+				}
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("len %d != model %d", q.Len(), len(model))
+			}
+			wantStealable := len(model)
+			if wantStealable > 4 {
+				wantStealable = 4
+			}
+			if q.StealableLen() != wantStealable {
+				t.Fatalf("stealable %d != %d", q.StealableLen(), wantStealable)
+			}
+		}
+	})
+}
+
+// FuzzChaseLevSequential drives the Chase-Lev deque single-threaded
+// against the same reference model (the concurrent properties are covered
+// by the stress tests; this explores ring-wrap and emptiness edges).
+func FuzzChaseLevSequential(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 1, 0, 2, 2})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		d := MustChaseLev[int](8)
+		var model []int
+		vals := make([]int, 0, len(tape))
+		for _, op := range tape {
+			switch op % 3 {
+			case 0:
+				vals = append(vals, len(vals))
+				v := &vals[len(vals)-1]
+				ok := d.PushBottom(v)
+				if ok != (len(model) < 8) {
+					t.Fatalf("push ok=%v model %d", ok, len(model))
+				}
+				if ok {
+					model = append(model, *v)
+				}
+			case 1:
+				v, ok := d.PopBottom()
+				if ok != (len(model) > 0) {
+					t.Fatalf("pop ok=%v model %d", ok, len(model))
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if *v != want {
+						t.Fatalf("pop %d want %d", *v, want)
+					}
+				}
+			case 2:
+				v, ok := d.StealTop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("steal ok=%v model %d", ok, len(model))
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if *v != want {
+						t.Fatalf("steal %d want %d", *v, want)
+					}
+				}
+			}
+		}
+	})
+}

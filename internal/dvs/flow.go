@@ -1,0 +1,79 @@
+package dvs
+
+import (
+	"palirria/internal/topo"
+)
+
+// FlowConnected reports whether every allotment member can discover work
+// under the policy: in the steal graph with an edge victim→thief for every
+// victim in a worker's list, every non-source worker must be reachable
+// from the source. The paper relies on this property ("DVS scheduling
+// complements this design by guaranteeing task discovery by all workers",
+// §4.1.1): tasks originate at the source, and a worker disconnected from
+// the source's flow could never receive any.
+func FlowConnected(p Policy, a *topo.Allotment) bool {
+	return len(Unreachable(p, a)) == 0
+}
+
+// Unreachable returns the allotment members that cannot receive work from
+// the source under the policy's steal graph (empty when flow is intact).
+func Unreachable(p Policy, a *topo.Allotment) []topo.CoreID {
+	// Build thief adjacency: edges from each victim to the workers that
+	// list it.
+	thieves := make(map[topo.CoreID][]topo.CoreID, a.Size())
+	for _, w := range a.Members() {
+		for _, v := range p.Victims(w) {
+			thieves[v] = append(thieves[v], w)
+		}
+	}
+	reached := make(map[topo.CoreID]bool, a.Size())
+	queue := []topo.CoreID{a.Source()}
+	reached[a.Source()] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, t := range thieves[v] {
+			if !reached[t] {
+				reached[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	var missing []topo.CoreID
+	for _, w := range a.Members() {
+		if !reached[w] {
+			missing = append(missing, w)
+		}
+	}
+	return missing
+}
+
+// MaxFlowDistance returns the longest shortest-path (in steal hops) from
+// the source to any member in the policy's steal graph: how many steal
+// generations a task needs to reach the farthest worker. For DVS on a
+// complete 2D allotment this is Θ(d); for random victim selection it is 1.
+func MaxFlowDistance(p Policy, a *topo.Allotment) int {
+	thieves := make(map[topo.CoreID][]topo.CoreID, a.Size())
+	for _, w := range a.Members() {
+		for _, v := range p.Victims(w) {
+			thieves[v] = append(thieves[v], w)
+		}
+	}
+	dist := map[topo.CoreID]int{a.Source(): 0}
+	queue := []topo.CoreID{a.Source()}
+	max := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, t := range thieves[v] {
+			if _, ok := dist[t]; !ok {
+				dist[t] = dist[v] + 1
+				if dist[t] > max {
+					max = dist[t]
+				}
+				queue = append(queue, t)
+			}
+		}
+	}
+	return max
+}

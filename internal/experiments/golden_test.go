@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden figure files")
+
+// TestGoldenFigures pins the static figures (classifications) byte for
+// byte: the topology and classification layer must never drift silently.
+// Refresh with: go test ./internal/experiments -run Golden -update-golden
+func TestGoldenFigures(t *testing.T) {
+	figs := map[string]func(*bytes.Buffer) error{
+		"fig1.txt": func(b *bytes.Buffer) error { return Fig1(b) },
+		"fig2.txt": func(b *bytes.Buffer) error { return Fig2(b) },
+		"fig3.txt": func(b *bytes.Buffer) error { return Fig3(b) },
+		"fig9.txt": func(b *bytes.Buffer) error { return Fig9(b) },
+		"fig4.txt": func(b *bytes.Buffer) error { Fig4(b); return nil },
+	}
+	for name, render := range figs {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("%s drifted from golden output:\n--- got ---\n%s\n--- want ---\n%s",
+				name, buf.String(), string(want))
+		}
+	}
+}

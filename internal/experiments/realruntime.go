@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"palirria/internal/asteal"
+	"palirria/internal/core"
+	"palirria/internal/topo"
+	"palirria/internal/workload"
+	"palirria/internal/wsrt"
+)
+
+// RTRow is one workload's real-runtime comparison.
+type RTRow struct {
+	Workload string
+	// WallMS per scheduler configuration.
+	WoolMS, AStealMS, PalirriaMS float64
+	// Peak workers under the adaptive schedulers.
+	AStealPeak, PalirriaPeak int
+}
+
+// RealRuntime runs the paper's workload set on the goroutine runtime
+// (package wsrt) under the three scheduler configurations, on a 4x4
+// virtual mesh. This is the demonstrative counterpart of the simulator
+// suites: it shows the same algorithms scheduling real threads, with the
+// caveat (DESIGN.md, calibration notes) that Go's own scheduler underneath
+// makes wall-clock numbers noisy — on hosts with fewer than 16 CPUs the
+// workers timeshare.
+func RealRuntime(quantum time.Duration) ([]RTRow, error) {
+	if quantum == 0 {
+		quantum = time.Millisecond
+	}
+	newMesh := func() *topo.Mesh { return topo.MustMesh(4, 4) }
+	src := topo.CoreID(5)
+
+	var rows []RTRow
+	for _, d := range workload.PaperSet() {
+		row := RTRow{Workload: d.Name}
+		for _, mode := range []string{"wool", "asteal", "palirria"} {
+			cfg := wsrt.Config{
+				Mesh:    newMesh(),
+				Source:  src,
+				Quantum: quantum,
+			}
+			switch mode {
+			case "wool":
+				cfg.InitialDiaspora = 99 // whole mesh
+				cfg.Policy = "random"
+			case "asteal":
+				cfg.Estimator = asteal.New()
+				cfg.Policy = "random"
+			case "palirria":
+				cfg.Estimator = core.NewPalirria()
+				cfg.Policy = "dvs"
+			}
+			rt, err := wsrt.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("rt %s/%s: %w", d.Name, mode, err)
+			}
+			rep, err := rt.Run(wsrt.SpecFunc(d.Root(workload.Simulator)))
+			if err != nil {
+				return nil, fmt.Errorf("rt %s/%s: %w", d.Name, mode, err)
+			}
+			ms := float64(rep.WallNS) / 1e6
+			switch mode {
+			case "wool":
+				row.WoolMS = ms
+			case "asteal":
+				row.AStealMS = ms
+				row.AStealPeak = rep.MaxWorkers
+			case "palirria":
+				row.PalirriaMS = ms
+				row.PalirriaPeak = rep.MaxWorkers
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintRealRuntime renders the real-runtime comparison.
+func PrintRealRuntime(w io.Writer, rows []RTRow) {
+	fmt.Fprintln(w, "Real-threads runtime (goroutines, 4x4 virtual mesh; wall-clock, NOISY —")
+	fmt.Fprintln(w, "the deterministic reproduction is the simulator; this demonstrates the")
+	fmt.Fprintln(w, "same algorithms scheduling real threads)")
+	fmt.Fprintf(w, "  %-9s %12s %12s %14s %8s %8s\n",
+		"workload", "wool ms", "asteal ms", "palirria ms", "AS peak", "PA peak")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9s %12.1f %12.1f %14.1f %8d %8d\n",
+			r.Workload, r.WoolMS, r.AStealMS, r.PalirriaMS, r.AStealPeak, r.PalirriaPeak)
+	}
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		Compute:      "compute",
+		Spawn:        "spawn",
+		Sync:         "sync",
+		TaskInit:     "taskinit",
+		StealSuccess: "steal",
+		Migration:    "migration",
+		Contention:   "contention",
+		ProbeFail:    "probefail",
+		Idle:         "idle",
+	}
+	if len(want) != int(NumCategories) {
+		t.Fatalf("test covers %d categories, have %d", len(want), NumCategories)
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if !strings.Contains(Category(99).String(), "Category(99)") {
+		t.Error("unknown category string wrong")
+	}
+}
+
+func TestUsefulWastedPartition(t *testing.T) {
+	// Useful + Wasted + Idle covers every category exactly once.
+	var ws WorkerStats
+	for c := Category(0); c < NumCategories; c++ {
+		ws.Add(c, 10)
+	}
+	if got := ws.Total(); got != int64(10*int(NumCategories)) {
+		t.Fatalf("Total = %d", got)
+	}
+	if ws.Useful()+ws.Wasted()+ws.Cycles[Idle] != ws.Total() {
+		t.Fatalf("useful(%d) + wasted(%d) + idle(%d) != total(%d)",
+			ws.Useful(), ws.Wasted(), ws.Cycles[Idle], ws.Total())
+	}
+}
+
+func TestAStealWastedSuperset(t *testing.T) {
+	// ASTEAL's decision metric counts at least everything Wasted does.
+	f := func(raw [int(NumCategories)]uint16) bool {
+		var ws WorkerStats
+		for c := Category(0); c < NumCategories; c++ {
+			ws.Add(c, int64(raw[c]))
+		}
+		return ws.AStealWasted() >= ws.Wasted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var ws WorkerStats
+	ws.Add(Compute, -1)
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var ws WorkerStats
+	ws.Add(Compute, 5)
+	snap := ws.Snapshot()
+	ws.Add(Compute, 5)
+	if snap.Cycles[Compute] != 5 {
+		t.Fatal("snapshot aliased the live stats")
+	}
+}
+
+func TestReportWastefulness(t *testing.T) {
+	r := &Report{ExecCycles: 1000, Workers: map[int]*WorkerStats{}}
+	// Empty report: zero.
+	if got := r.WastefulnessPercent(); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	a := &WorkerStats{}
+	a.Add(ProbeFail, 100) // 10% of exec
+	b := &WorkerStats{}
+	b.Add(ProbeFail, 300) // 30%
+	r.Workers[1] = a
+	r.Workers[2] = b
+	if got := r.WastefulnessPercent(); got != 20 {
+		t.Fatalf("wastefulness = %v, want 20 (avg of 10 and 30)", got)
+	}
+	// Idle does not count as wasted.
+	a.Add(Idle, 100000)
+	if got := r.WastefulnessPercent(); got != 20 {
+		t.Fatalf("idle leaked into wastefulness: %v", got)
+	}
+}
+
+func TestReportTotals(t *testing.T) {
+	a := &WorkerStats{}
+	a.Add(Compute, 70)
+	a.Add(ProbeFail, 30)
+	b := &WorkerStats{}
+	b.Add(StealSuccess, 10)
+	b.Add(Idle, 5)
+	r := &Report{ExecCycles: 100, Workers: map[int]*WorkerStats{1: a, 2: b}}
+	if got := r.UsefulTotal(); got != 80 {
+		t.Fatalf("UsefulTotal = %d, want 80", got)
+	}
+	if got := r.WastedTotal(); got != 30 {
+		t.Fatalf("WastedTotal = %d, want 30", got)
+	}
+}
+
+func TestWastefulnessZeroExec(t *testing.T) {
+	r := &Report{Workers: map[int]*WorkerStats{1: {}}}
+	if got := r.WastefulnessPercent(); got != 0 {
+		t.Fatalf("zero-exec wastefulness = %v", got)
+	}
+}
+
+func TestWorkerSpanRetired(t *testing.T) {
+	// Workers that retired mid-run still contribute their waste relative
+	// to full exec time.
+	ws := &WorkerStats{JoinedAt: 100, RetiredAt: 200}
+	ws.Add(ProbeFail, 50)
+	r := &Report{ExecCycles: 1000, Workers: map[int]*WorkerStats{3: ws}}
+	if got := r.WastefulnessPercent(); got != 5 {
+		t.Fatalf("wastefulness = %v, want 5", got)
+	}
+}

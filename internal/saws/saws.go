@@ -1,0 +1,125 @@
+// Package saws implements a stable adaptive work-stealing estimator after
+// Cao, Sun, Qian and Wu ("Stable Adaptive Work-Stealing for Concurrent
+// Multi-core Runtime Systems", HPCC 2011), the third approach the paper's
+// related-work section discusses: "a mechanism evolved from ASTEAL that
+// uses the size of the task-queue as metric for requirements estimation.
+// Their method approximates the values using statistical sampling."
+//
+// Unlike Palirria it needs no victim-selection discipline and inspects a
+// random sample rather than the specific X/Z classes; unlike ASTEAL it
+// reads queue sizes (future work) rather than wasted cycles (past
+// behaviour). It therefore sits exactly between the two, which makes it a
+// useful calibration point: queue-size estimation without DVS pays for its
+// sampling noise with oscillation, which is the gap Palirria's determinism
+// closes.
+package saws
+
+import (
+	"palirria/internal/core"
+	"palirria/internal/topo"
+	"palirria/internal/xrand"
+)
+
+// Defaults.
+const (
+	// DefaultSampleSize is the number of workers sampled per quantum.
+	DefaultSampleSize = 4
+	// DefaultSmoothing is the exponential smoothing factor (x100) applied
+	// to the desire for stability.
+	DefaultSmoothing = 50
+)
+
+// SAWS estimates the desired worker count from a statistical sample of
+// task-queue sizes: the sampled mean queue length, scaled to the
+// allotment, approximates the outstanding stealable tasks; each
+// outstanding task could occupy one more worker, and busy workers remain
+// needed. Exponential smoothing damps the sampling noise (the "stable"
+// part of the algorithm's name).
+type SAWS struct {
+	// SampleSize is the number of workers sampled per quantum.
+	SampleSize int
+	// Smoothing (0..100) blends the new estimate with the previous desire:
+	// 0 keeps the old desire forever, 100 jumps instantly.
+	Smoothing int
+
+	rng     *xrand.Xoshiro256
+	desire  float64
+	started bool
+}
+
+var _ core.Estimator = (*SAWS)(nil)
+
+// New returns a SAWS estimator with the default parameters and seed.
+func New(seed uint64) *SAWS {
+	return &SAWS{
+		SampleSize: DefaultSampleSize,
+		Smoothing:  DefaultSmoothing,
+		rng:        xrand.NewXoshiro256(xrand.Hash64(seed ^ 0x5a5a5a5a)),
+	}
+}
+
+// Name implements core.Estimator.
+func (s *SAWS) Name() string { return "saws" }
+
+// Estimate implements core.Estimator.
+func (s *SAWS) Estimate(snap *core.Snapshot) int {
+	cur := snap.Allotment.Size()
+	if !s.started {
+		s.desire = float64(cur)
+		s.started = true
+	}
+	members := snap.Allotment.Members()
+	k := s.SampleSize
+	if k > len(members) {
+		k = len(members)
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Sample k distinct members uniformly.
+	perm := s.rng.Perm(len(members))
+	var queued, busy int
+	for i := 0; i < k; i++ {
+		ws := snap.Workers[members[perm[i]]]
+		if ws == nil {
+			continue
+		}
+		queued += ws.QueueLen
+		if ws.Busy {
+			busy++
+		}
+	}
+	// Scale the sample to the allotment: estimated outstanding stealable
+	// tasks plus estimated busy workers = utilizable worker count.
+	scale := float64(len(members)) / float64(k)
+	estimate := (float64(queued) + float64(busy)) * scale
+	if max := float64(snap.Allotment.Mesh().Usable()); estimate > max {
+		estimate = max
+	}
+	if estimate < 1 {
+		estimate = 1
+	}
+	alpha := float64(s.Smoothing) / 100
+	s.desire = (1-alpha)*s.desire + alpha*estimate
+	d := int(s.desire + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Granted implements core.Estimator; SAWS derives nothing from grants.
+func (s *SAWS) Granted(workers int) {}
+
+// Desire exposes the smoothed desire for tests.
+func (s *SAWS) Desire() float64 { return s.desire }
+
+// sampleIDs is exported for white-box tests via the package.
+func (s *SAWS) sampleIDs(members []topo.CoreID, k int) []topo.CoreID {
+	perm := s.rng.Perm(len(members))
+	out := make([]topo.CoreID, 0, k)
+	for i := 0; i < k && i < len(perm); i++ {
+		out = append(out, members[perm[i]])
+	}
+	return out
+}

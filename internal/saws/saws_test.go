@@ -1,0 +1,114 @@
+package saws
+
+import (
+	"testing"
+
+	"palirria/internal/core"
+	"palirria/internal/topo"
+)
+
+func snap(t testing.TB, d int, queue int, busy bool) *core.Snapshot {
+	t.Helper()
+	m := topo.MustMesh(8, 4)
+	m.Reserve(0, 1)
+	a, err := topo.NewAllotment(m, 20, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make(map[topo.CoreID]*core.WorkerSnapshot, a.Size())
+	for _, id := range a.Members() {
+		ws[id] = &core.WorkerSnapshot{ID: id, QueueLen: queue, Busy: busy}
+	}
+	return &core.Snapshot{
+		Allotment:     a,
+		Class:         topo.Classify(a),
+		Workers:       ws,
+		QuantumCycles: 50000,
+	}
+}
+
+func TestSaturatedQueuesGrow(t *testing.T) {
+	s := New(1)
+	var got int
+	for i := 0; i < 10; i++ {
+		got = s.Estimate(snap(t, 1, 3, true)) // everyone busy with 3 queued
+	}
+	if got <= 5 {
+		t.Fatalf("Estimate = %d, want growth beyond 5", got)
+	}
+}
+
+func TestIdleEmptyShrinks(t *testing.T) {
+	s := New(1)
+	// Start from a large allotment with empty queues and idle workers.
+	var got int
+	for i := 0; i < 10; i++ {
+		got = s.Estimate(snap(t, 4, 0, false))
+	}
+	if got != 1 {
+		t.Fatalf("Estimate = %d, want shrink toward 1", got)
+	}
+}
+
+func TestBusyNoQueueHolds(t *testing.T) {
+	// All busy, nothing queued: the estimate converges to about the
+	// current busy count (all members), not above.
+	s := New(1)
+	var got int
+	for i := 0; i < 20; i++ {
+		got = s.Estimate(snap(t, 2, 0, true))
+	}
+	if got < 10 || got > 13 {
+		t.Fatalf("Estimate = %d, want ~12 (the busy population)", got)
+	}
+}
+
+func TestSmoothingDampsJumps(t *testing.T) {
+	fast := &SAWS{SampleSize: 4, Smoothing: 100, rng: New(1).rng}
+	slow := &SAWS{SampleSize: 4, Smoothing: 10, rng: New(1).rng}
+	f := fast.Estimate(snap(t, 1, 10, true))
+	sl := slow.Estimate(snap(t, 1, 10, true))
+	if sl >= f {
+		t.Fatalf("smoothing did not damp: slow %d >= fast %d", sl, f)
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 5; i++ {
+		if a.Estimate(snap(t, 2, 1, true)) != b.Estimate(snap(t, 2, 1, true)) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestCapAtUsable(t *testing.T) {
+	s := &SAWS{SampleSize: 4, Smoothing: 100, rng: New(2).rng}
+	got := s.Estimate(snap(t, 4, 1000, true))
+	if got > 30 {
+		t.Fatalf("Estimate = %d, above the 30 usable cores", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(1).Name() != "saws" {
+		t.Fatal("name wrong")
+	}
+	New(1).Granted(5) // no-op
+}
+
+func TestSampleIDsDistinct(t *testing.T) {
+	s := New(3)
+	sn := snap(t, 3, 0, false)
+	ids := s.sampleIDs(sn.Allotment.Members(), 5)
+	seen := map[topo.CoreID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate sample %d", id)
+		}
+		seen[id] = true
+	}
+	if len(ids) != 5 {
+		t.Fatalf("samples = %d", len(ids))
+	}
+}

@@ -1,0 +1,711 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"palirria/internal/core"
+	"palirria/internal/dvs"
+	"palirria/internal/metrics"
+	"palirria/internal/sysched"
+	"palirria/internal/task"
+	"palirria/internal/topo"
+	"palirria/internal/trace"
+)
+
+// Config describes one single-application simulation run.
+type Config struct {
+	// Mesh is the machine topology (with reservations applied).
+	Mesh *topo.Mesh
+	// Source is the core the workload starts on.
+	Source topo.CoreID
+	// Root is the workload's root task.
+	Root *task.Spec
+
+	// InitialDiaspora sets the starting allotment (default 1 → 5 workers).
+	InitialDiaspora int
+	// MaxDiaspora caps adaptive growth (default: mesh maximum).
+	MaxDiaspora int
+
+	// Costs is the runtime cost model (zero value → DefaultCosts).
+	Costs *Costs
+	// Machine is the platform penalty model (nil → Ideal).
+	Machine MachineModel
+
+	// Policy selects victim selection: "dvs" (default), "random",
+	// "roundrobin".
+	Policy string
+	// Seed drives the random policy.
+	Seed uint64
+
+	// QueueCap is each worker's task-queue capacity (default 1024).
+	QueueCap int
+	// StealableSlots bounds µ(Q), "set to the same constant number that is
+	// sufficient for the largest number of workers" (§2.1; default 16).
+	StealableSlots int
+
+	// Estimator enables adaptation; nil runs a fixed allotment.
+	Estimator core.Estimator
+	// NoFilter disables the system-level false-positive filter.
+	NoFilter bool
+	// Quantum is the estimation interval in cycles (default 50000).
+	Quantum int64
+
+	// MaxCycles aborts runaway simulations (default 50e9).
+	MaxCycles int64
+
+	// TraceCap enables the scheduler event trace, keeping the newest
+	// TraceCap events (0 disables tracing).
+	TraceCap int
+}
+
+// Result is the outcome of a single-application run.
+type Result struct {
+	// ExecCycles is the total execution time, measured at the source.
+	ExecCycles int64
+	// Workers holds per-core statistics for every core that participated.
+	Workers map[topo.CoreID]*metrics.WorkerStats
+	// Timeline is the allotment size over time.
+	Timeline *trace.Timeline
+	// Decisions logs every quantum's estimate and grant.
+	Decisions *trace.Log
+	// FinalAllotment is the allotment when the workload completed.
+	FinalAllotment *topo.Allotment
+	// Events counts processed simulator events (engine health metric).
+	Events int64
+	// Trace holds the newest scheduler events when Config.TraceCap > 0.
+	Trace []TraceEvent
+}
+
+// Report converts the result to the metrics aggregate.
+func (r *Result) Report() *metrics.Report {
+	rep := &metrics.Report{
+		ExecCycles: r.ExecCycles,
+		Workers:    map[int]*metrics.WorkerStats{},
+	}
+	for id, ws := range r.Workers {
+		rep.Workers[int(id)] = ws
+		rep.TotalSteals += ws.Steals
+		rep.TotalFailedProbes += ws.FailedProbes
+		rep.TotalTasks += ws.TasksRun
+	}
+	rep.MaxWorkers = r.Timeline.Max()
+	rep.WorkerCycleArea = r.Timeline.Area(r.ExecCycles)
+	return rep
+}
+
+// Job describes one application of a multiprogrammed simulation.
+type Job struct {
+	// Name labels the job in results.
+	Name string
+	// Source is the job's source core; must be distinct across jobs.
+	Source topo.CoreID
+	// Root is the job's root task.
+	Root *task.Spec
+	// Estimator adapts the job's allotment; nil keeps requesting
+	// FixedWorkers.
+	Estimator core.Estimator
+	// Policy selects the job's victim selection ("dvs" default).
+	Policy string
+	// FixedWorkers is the non-adaptive desired size (estimator == nil).
+	FixedWorkers int
+}
+
+// MultiConfig describes a multiprogrammed run: several jobs co-scheduled
+// on one mesh through the sysched arbiter. This is the paper's stated next
+// step ("high-load multiprogrammed configurations", §8) built on the same
+// engine: competition produces the incomplete allotments of Fig. 2.
+type MultiConfig struct {
+	Mesh *topo.Mesh
+	Jobs []Job
+
+	Costs          *Costs
+	Machine        MachineModel
+	Seed           uint64
+	QueueCap       int
+	StealableSlots int
+	NoFilter       bool
+	Quantum        int64
+	MaxCycles      int64
+}
+
+// JobResult is one job's outcome within a multiprogrammed run.
+type JobResult struct {
+	// Name echoes the job name.
+	Name string
+	// StartCycles and FinishCycles bound the job's execution.
+	StartCycles, FinishCycles int64
+	// Timeline is the job's allotment size over time.
+	Timeline *trace.Timeline
+	// Decisions logs the job's quanta.
+	Decisions *trace.Log
+}
+
+// ExecCycles is the job's makespan.
+func (jr *JobResult) ExecCycles() int64 { return jr.FinishCycles - jr.StartCycles }
+
+// MultiResult is the outcome of a multiprogrammed run.
+type MultiResult struct {
+	// Jobs holds per-job results in configuration order.
+	Jobs []*JobResult
+	// Workers holds per-core statistics (across all jobs that used the
+	// core).
+	Workers map[topo.CoreID]*metrics.WorkerStats
+	// MakespanCycles is when the last job finished.
+	MakespanCycles int64
+	// Events counts processed simulator events.
+	Events int64
+}
+
+// event is one scheduled worker activation. Each worker has at most one
+// live event; epoch invalidates superseded ones.
+type event struct {
+	time  int64
+	seq   uint64
+	w     *worker
+	epoch uint64
+	// quantum marks the estimator tick (w == nil).
+	quantum bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// jobState is one application's live scheduling state inside the engine.
+type jobState struct {
+	idx    int
+	name   string
+	source topo.CoreID
+	policy string
+	fixed  int
+
+	rootFrame *frame
+	granted   *topo.Allotment
+	victims   dvs.Policy
+
+	// mgr grants zones in single-job mode; app arbitrates cores in
+	// multi-job mode. Exactly one is non-nil.
+	mgr *sysched.Manager
+	app *sysched.App
+
+	ctrl *core.Controller
+
+	started  bool
+	startAt  int64
+	finished bool
+	finishAt int64
+
+	timeline   trace.Timeline
+	decisions  trace.Log
+	lastWasted map[topo.CoreID]int64
+}
+
+// engine runs one simulation (one or many jobs).
+type engine struct {
+	costs   Costs
+	machine MachineModel
+	mesh    *topo.Mesh
+
+	queueCap, stealableSlots int
+	seed                     uint64
+	quantum                  int64
+	maxCycles                int64
+	noFilter                 bool
+
+	now    int64
+	seq    uint64
+	events eventHeap
+
+	workers    map[topo.CoreID]*worker
+	jobs       []*jobState
+	arb        *sysched.Arbiter
+	unfinished int
+
+	// busy counts workers with a non-empty frame stack: the population
+	// consuming memory bandwidth in the NUMA model's ComputeFactor.
+	busy int
+
+	// tracer records scheduler events when enabled.
+	tracer *traceRing
+
+	eventCount int64
+}
+
+// Run executes a single-application configuration to completion.
+func Run(cfg Config) (*Result, error) {
+	e, err := newEngine(engineParams{
+		mesh: cfg.Mesh, costs: cfg.Costs, machine: cfg.Machine,
+		queueCap: cfg.QueueCap, stealableSlots: cfg.StealableSlots,
+		seed: cfg.Seed, quantum: cfg.Quantum, maxCycles: cfg.MaxCycles,
+		noFilter: cfg.NoFilter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraceCap > 0 {
+		e.tracer = newTraceRing(cfg.TraceCap)
+	}
+	if cfg.Root == nil {
+		return nil, fmt.Errorf("sim: nil root task")
+	}
+	if _, err := task.Validate(cfg.Root); err != nil {
+		return nil, fmt.Errorf("sim: invalid root: %w", err)
+	}
+	initialD := cfg.InitialDiaspora
+	if initialD == 0 {
+		initialD = 1
+	}
+	opts := []sysched.Option{sysched.WithInitialDiaspora(initialD)}
+	if cfg.MaxDiaspora > 0 {
+		opts = append(opts, sysched.WithMaxDiaspora(cfg.MaxDiaspora))
+	}
+	mgr, err := sysched.NewManager(cfg.Mesh, cfg.Source, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	j := &jobState{
+		name:   "job",
+		source: cfg.Source,
+		policy: cfg.Policy,
+		mgr:    mgr,
+	}
+	if cfg.Estimator != nil {
+		j.ctrl = core.NewController(cfg.Estimator)
+		if cfg.NoFilter {
+			j.ctrl.Filter = nil
+		}
+	}
+	e.addJob(j, cfg.Root, mgr.Current())
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ExecCycles:     j.finishAt,
+		Workers:        map[topo.CoreID]*metrics.WorkerStats{},
+		Timeline:       &j.timeline,
+		Decisions:      &j.decisions,
+		FinalAllotment: j.granted,
+		Events:         e.eventCount,
+	}
+	for id, w := range e.workers {
+		res.Workers[id] = &w.stats
+	}
+	if e.tracer != nil {
+		res.Trace = e.tracer.events()
+	}
+	return res, nil
+}
+
+// RunMulti executes a multiprogrammed configuration to completion.
+func RunMulti(cfg MultiConfig) (*MultiResult, error) {
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("sim: no jobs")
+	}
+	e, err := newEngine(engineParams{
+		mesh: cfg.Mesh, costs: cfg.Costs, machine: cfg.Machine,
+		queueCap: cfg.QueueCap, stealableSlots: cfg.StealableSlots,
+		seed: cfg.Seed, quantum: cfg.Quantum, maxCycles: cfg.MaxCycles,
+		noFilter: cfg.NoFilter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.arb = sysched.NewArbiter(cfg.Mesh)
+	for i, jc := range cfg.Jobs {
+		if jc.Root == nil {
+			return nil, fmt.Errorf("sim: job %d: nil root", i)
+		}
+		if _, err := task.Validate(jc.Root); err != nil {
+			return nil, fmt.Errorf("sim: job %d: %w", i, err)
+		}
+		name := jc.Name
+		if name == "" {
+			name = fmt.Sprintf("job%d", i)
+		}
+		app, err := e.arb.Register(name, jc.Source)
+		if err != nil {
+			return nil, fmt.Errorf("sim: job %d: %w", i, err)
+		}
+		j := &jobState{
+			idx:    i,
+			name:   name,
+			source: jc.Source,
+			policy: jc.Policy,
+			fixed:  jc.FixedWorkers,
+			app:    app,
+		}
+		if jc.Estimator != nil {
+			j.ctrl = core.NewController(jc.Estimator)
+			if cfg.NoFilter {
+				j.ctrl.Filter = nil
+			}
+		}
+		e.addJob(j, jc.Root, app.Allotment())
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	out := &MultiResult{
+		Workers:        map[topo.CoreID]*metrics.WorkerStats{},
+		MakespanCycles: e.now,
+		Events:         e.eventCount,
+	}
+	for _, j := range e.jobs {
+		out.Jobs = append(out.Jobs, &JobResult{
+			Name:         j.name,
+			StartCycles:  j.startAt,
+			FinishCycles: j.finishAt,
+			Timeline:     &j.timeline,
+			Decisions:    &j.decisions,
+		})
+		if j.finishAt > out.MakespanCycles {
+			out.MakespanCycles = j.finishAt
+		}
+	}
+	for id, w := range e.workers {
+		out.Workers[id] = &w.stats
+	}
+	return out, nil
+}
+
+type engineParams struct {
+	mesh           *topo.Mesh
+	costs          *Costs
+	machine        MachineModel
+	queueCap       int
+	stealableSlots int
+	seed           uint64
+	quantum        int64
+	maxCycles      int64
+	noFilter       bool
+}
+
+func newEngine(p engineParams) (*engine, error) {
+	if p.mesh == nil {
+		return nil, fmt.Errorf("sim: nil mesh")
+	}
+	e := &engine{
+		costs:   DefaultCosts(),
+		machine: Ideal{},
+		mesh:    p.mesh,
+		workers: make(map[topo.CoreID]*worker, p.mesh.NumCores()),
+	}
+	if p.costs != nil {
+		e.costs = *p.costs
+	}
+	if p.machine != nil {
+		e.machine = p.machine
+	}
+	e.queueCap = p.queueCap
+	if e.queueCap == 0 {
+		e.queueCap = 1024
+	}
+	e.stealableSlots = p.stealableSlots
+	if e.stealableSlots == 0 {
+		e.stealableSlots = 16
+	}
+	e.seed = p.seed
+	e.quantum = p.quantum
+	if e.quantum == 0 {
+		e.quantum = 50000
+	}
+	e.maxCycles = p.maxCycles
+	if e.maxCycles == 0 {
+		e.maxCycles = 50e9
+	}
+	e.noFilter = p.noFilter
+	return e, nil
+}
+
+// addJob installs a job with its initial allotment and bootstraps workers.
+func (e *engine) addJob(j *jobState, root *task.Spec, granted *topo.Allotment) {
+	j.granted = granted
+	j.lastWasted = map[topo.CoreID]int64{}
+	j.rootFrame = newFrame(root, j.source, nil)
+	j.rootFrame.isRoot = true
+	j.started = true
+	j.startAt = e.now
+	e.jobs = append(e.jobs, j)
+	e.unfinished++
+	e.rebuildPolicy(j)
+	for _, id := range granted.Members() {
+		w := e.newWorker(id, j)
+		if id == j.source {
+			w.pushFrame(j.rootFrame)
+			w.state = wsRun
+		} else {
+			w.state = wsSteal
+			w.beginStealRound()
+		}
+		e.schedule(w, e.now)
+	}
+	j.timeline.Record(e.now, granted.Size())
+	if len(e.jobs) == 1 && e.needsQuantum() {
+		e.scheduleQuantum(e.now + e.quantum)
+	}
+}
+
+// needsQuantum reports whether any job requires periodic estimation (any
+// controller, or any arbitrated job that may regrow).
+func (e *engine) needsQuantum() bool {
+	if e.arb != nil {
+		return true
+	}
+	for _, j := range e.jobs {
+		if j.ctrl != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) newWorker(id topo.CoreID, j *jobState) *worker {
+	w := e.workers[id]
+	if w == nil {
+		w = newWorker(e, id)
+		e.workers[id] = w
+		w.stats.JoinedAt = e.now
+	}
+	w.job = j
+	w.retired = false
+	w.draining = false
+	w.stats.RetiredAt = -1
+	return w
+}
+
+// rebuildPolicy rebuilds victim lists over the job's resident set: granted
+// members plus draining workers, which remain victims until they retire
+// (§4.1.1).
+func (e *engine) rebuildPolicy(j *jobState) {
+	resident := e.residentAllotment(j)
+	switch j.policy {
+	case "random":
+		j.victims = dvs.NewRandom(resident, e.seed^uint64(j.idx)*0x9e3779b97f4a7c15)
+	case "roundrobin":
+		j.victims = dvs.NewRoundRobin(resident)
+	default:
+		j.victims = dvs.New(topo.Classify(resident))
+	}
+}
+
+// residentAllotment is the job's granted allotment plus its draining
+// workers.
+func (e *engine) residentAllotment(j *jobState) *topo.Allotment {
+	var extra []topo.CoreID
+	for id, w := range e.workers {
+		if w.job == j && w.draining && !w.retired && !j.granted.Contains(id) {
+			extra = append(extra, id)
+		}
+	}
+	if len(extra) == 0 {
+		return j.granted
+	}
+	cores := append(append([]topo.CoreID(nil), j.granted.Members()...), extra...)
+	a, err := topo.NewAllotmentFromCores(e.mesh, j.source, cores)
+	if err != nil {
+		return j.granted
+	}
+	return a
+}
+
+// schedule (re)schedules w's next activation at time t, superseding any
+// outstanding event.
+func (e *engine) schedule(w *worker, t int64) {
+	w.epoch++
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, w: w, epoch: w.epoch})
+}
+
+func (e *engine) scheduleQuantum(t int64) {
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, quantum: true})
+}
+
+func (e *engine) run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.time < e.now {
+			return fmt.Errorf("sim: time went backwards (%d < %d)", ev.time, e.now)
+		}
+		e.now = ev.time
+		if e.now > e.maxCycles {
+			return fmt.Errorf("sim: exceeded MaxCycles=%d — likely deadlock or runaway workload", e.maxCycles)
+		}
+		if e.unfinished == 0 {
+			break
+		}
+		if ev.quantum {
+			e.quantumTick()
+			if e.unfinished > 0 {
+				e.scheduleQuantum(e.now + e.quantum)
+			}
+			continue
+		}
+		if ev.epoch != ev.w.epoch || ev.w.retired {
+			continue // superseded or dead
+		}
+		e.eventCount++
+		ev.w.step()
+	}
+	if e.unfinished > 0 {
+		return fmt.Errorf("sim: event queue drained with %d job(s) unfinished", e.unfinished)
+	}
+	return nil
+}
+
+// quantumTick runs every unfinished job's estimator and applies grants.
+func (e *engine) quantumTick() {
+	for _, j := range e.jobs {
+		if j.finished {
+			continue
+		}
+		desired := j.granted.Size()
+		if j.ctrl != nil {
+			snap := e.snapshot(j)
+			desired = j.ctrl.Step(snap)
+		} else if j.fixed > 0 {
+			desired = j.fixed
+		}
+		prev := j.granted
+		var next *topo.Allotment
+		var changed bool
+		if j.app != nil {
+			next = e.arb.Request(j.app, desired)
+			changed = next.Size() != prev.Size() || !sameMembers(next, prev)
+		} else {
+			next, changed = j.mgr.Grant(desired)
+		}
+		if j.ctrl != nil {
+			j.ctrl.Granted(next.Size())
+			j.decisions.Add(trace.Decision{
+				Time:      e.now,
+				Estimator: j.ctrl.Est.Name(),
+				Desired:   desired,
+				Granted:   next.Size(),
+			})
+		}
+		if !changed {
+			continue
+		}
+		e.applyGrant(j, prev, next)
+	}
+}
+
+func sameMembers(a, b *topo.Allotment) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for _, id := range a.Members() {
+		if !b.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyGrant transitions workers between the old and new allotments.
+func (e *engine) applyGrant(j *jobState, prev, next *topo.Allotment) {
+	j.granted = next
+	// Workers leaving the grant drain; workers (re)entering bootstrap or
+	// revoke their removal.
+	for _, id := range prev.Members() {
+		if !next.Contains(id) {
+			if w := e.workers[id]; w != nil && w.job == j {
+				w.draining = true
+			}
+		}
+	}
+	for _, id := range next.Members() {
+		w := e.workers[id]
+		switch {
+		case w == nil || w.job != j || w.retired:
+			// New to this job (or returning after retirement): fresh
+			// bootstrap as a thief.
+			w = e.newWorker(id, j)
+			w.state = wsSteal
+			w.beginStealRound()
+			e.schedule(w, e.now+e.costs.Bootstrap)
+		case w.draining:
+			// Removal revoked before the worker finished draining.
+			w.draining = false
+		}
+	}
+	e.rebuildPolicy(j)
+	j.timeline.Record(e.now, j.granted.Size())
+	e.trace(TraceGrant, j.source, topo.NoCore, j.granted.Size(), j.name)
+}
+
+// snapshot builds the estimator's view of job j at the current boundary.
+func (e *engine) snapshot(j *jobState) *core.Snapshot {
+	class := topo.Classify(j.granted)
+	ws := make(map[topo.CoreID]*core.WorkerSnapshot, j.granted.Size())
+	for _, id := range j.granted.Members() {
+		w := e.workers[id]
+		if w == nil || w.job != j {
+			continue
+		}
+		total := w.stats.AStealWasted()
+		delta := total - j.lastWasted[id]
+		j.lastWasted[id] = total
+		maxQ := w.maxQueueLen
+		if cur := w.queue.StealableLen(); cur > maxQ {
+			maxQ = cur
+		}
+		w.maxQueueLen = 0
+		ws[id] = &core.WorkerSnapshot{
+			ID:           id,
+			QueueLen:     w.queue.StealableLen(),
+			MaxQueueLen:  maxQ,
+			Busy:         !w.retired && len(w.stack) > 0,
+			WastedCycles: delta,
+			Draining:     w.draining,
+		}
+	}
+	return &core.Snapshot{
+		Allotment:     j.granted,
+		Class:         class,
+		Workers:       ws,
+		QuantumCycles: e.quantum,
+		Time:          e.now,
+	}
+}
+
+// finishJob records job completion and releases its resources.
+func (e *engine) finishJob(j *jobState) {
+	j.finished = true
+	j.finishAt = e.now
+	j.timeline.Record(e.now, j.granted.Size())
+	e.unfinished--
+	if e.arb == nil {
+		return
+	}
+	// Multiprogrammed mode: retire the job's workers and return its cores
+	// to the free pool so competing jobs can grow into them.
+	for _, w := range e.workers {
+		if w.job == j && !w.retired {
+			w.retired = true
+			w.job = nil
+			if w.stats.RetiredAt < 0 {
+				w.stats.RetiredAt = e.now
+			}
+		}
+	}
+	e.arb.Release(j.app)
+}

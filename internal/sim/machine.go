@@ -1,0 +1,212 @@
+// Package sim is a deterministic discrete-event simulator of a multicore
+// machine running a WOOL-style work-stealing runtime.
+//
+// It substitutes for the paper's two evaluation platforms (see DESIGN.md):
+// the Simics-simulated ideal 32-core machine and the 48-core ccNUMA Opteron.
+// The simulator models the *scheduler* at cycle granularity — compute,
+// spawn, sync, steal probes, steal transfers, idle backoff — because those
+// are the quantities the estimators read and the evaluation reports. It is
+// single-threaded and produces bit-identical results for identical
+// configurations, which is what makes cross-scheduler comparisons sound.
+package sim
+
+import (
+	"palirria/internal/topo"
+)
+
+// Costs parameterizes the runtime operations, in cycles. The defaults
+// reflect the maturity the paper cites ("work-stealing runtimes have
+// reached the maturity of performing steal and spawn actions in just a few
+// hundred cycles", §1).
+type Costs struct {
+	// Spawn is the cost of placing a spawned task in the owner's queue.
+	Spawn int64
+	// SyncLocal is the pop-and-inline bookkeeping when the synced child was
+	// not stolen.
+	SyncLocal int64
+	// SyncStolen is the check of a stolen child's completion status.
+	SyncStolen int64
+	// Pop is taking the next task from the worker's own queue.
+	Pop int64
+	// TaskInit is frame setup when a task starts executing.
+	TaskInit int64
+	// Probe is one failed inspection of a victim's queue.
+	Probe int64
+	// Steal is a successful steal transfer (excluding machine penalties).
+	Steal int64
+	// Backoff is the initial idle pause after probing every victim
+	// unsuccessfully; it doubles per empty round up to BackoffMax and
+	// resets when work is found.
+	Backoff int64
+	// BackoffMax caps the exponential backoff.
+	BackoffMax int64
+	// Bootstrap is the delay before a newly granted worker starts stealing.
+	Bootstrap int64
+	// ProbeTax is the slowdown a probe inflicts on a busy victim: thieves
+	// inspecting the queue bounce the owner's cache lines. Idle victims
+	// are not charged.
+	ProbeTax int64
+	// StealTax is the analogous (larger) slowdown of a successful steal on
+	// a busy victim.
+	StealTax int64
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		Spawn:      20,
+		SyncLocal:  12,
+		SyncStolen: 30,
+		Pop:        12,
+		TaskInit:   10,
+		Probe:      60,
+		Steal:      240,
+		Backoff:    150,
+		BackoffMax: 4800,
+		Bootstrap:  500,
+		ProbeTax:   40,
+		StealTax:   240,
+	}
+}
+
+// MachineModel adds platform-specific penalties on top of Costs.
+type MachineModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// ProbePenalty is added to a steal probe from thief to victim.
+	ProbePenalty(thief, victim topo.CoreID) int64
+	// StealPenalty is added to a successful steal transfer.
+	StealPenalty(thief, victim topo.CoreID) int64
+	// MigrationPenalty is the cache warm-up charged when a task of the
+	// given footprint, created on origin, first executes on thief.
+	MigrationPenalty(origin, thief topo.CoreID, footprint int64) int64
+	// ComputeFactor inflates a task's compute cycles as a function of its
+	// memory-boundedness and the number of active workers, modelling
+	// shared memory-bandwidth saturation. 1.0 means no inflation.
+	ComputeFactor(memBound float64, workers int) float64
+}
+
+// Ideal is the paper's simulated platform: every instruction takes one
+// cycle and there is no memory hierarchy, so no penalties of any kind.
+// "The simulated model purposefully does not include a memory-hierarchy to
+// isolate the behavior of the estimation algorithms" (§5).
+type Ideal struct{}
+
+// Name implements MachineModel.
+func (Ideal) Name() string { return "ideal" }
+
+// ProbePenalty implements MachineModel.
+func (Ideal) ProbePenalty(thief, victim topo.CoreID) int64 { return 0 }
+
+// StealPenalty implements MachineModel.
+func (Ideal) StealPenalty(thief, victim topo.CoreID) int64 { return 0 }
+
+// MigrationPenalty implements MachineModel.
+func (Ideal) MigrationPenalty(origin, thief topo.CoreID, footprint int64) int64 {
+	return 0
+}
+
+// ComputeFactor implements MachineModel: the ideal machine has no memory
+// hierarchy, so no bandwidth saturation either.
+func (Ideal) ComputeFactor(memBound float64, workers int) float64 { return 1 }
+
+// NUMA models the 48-core Opteron 6172 platform: 4 sockets, 2 NUMA nodes
+// per socket, 6 cores per node. Cores map to nodes by column of the 8x6
+// mesh (node = x, socket = x/2), so each mesh column is one physical node
+// with its own memory controller.
+//
+// Three effects matter for the evaluation's "behavioral patterns are
+// different mainly due to caches" (§6):
+//
+//   - probing a victim on another node costs extra coherence traffic;
+//   - a steal transfer crossing nodes or sockets costs progressively more;
+//   - a stolen task touching a large working set (FFT, Sort, Strassen)
+//     must warm the destination cache: a penalty proportional to its
+//     footprint, capped, and scaled by the distance class.
+type NUMA struct {
+	// Mesh is the 8x6 core grid.
+	Mesh *topo.Mesh
+	// RemoteProbe is the extra probe cost off-node.
+	RemoteProbe int64
+	// NodeSteal / SocketSteal / RemoteSteal are extra transfer costs for
+	// same-node, same-socket and cross-socket steals.
+	NodeSteal, SocketSteal, RemoteSteal int64
+	// BytesPerCycle divides the footprint to produce warm-up cycles.
+	BytesPerCycle int64
+	// WarmupCap bounds the migration penalty.
+	WarmupCap int64
+}
+
+// NewNUMA returns the standard 48-core model over mesh.
+func NewNUMA(mesh *topo.Mesh) *NUMA {
+	return &NUMA{
+		Mesh:        mesh,
+		RemoteProbe: 80,
+		NodeSteal:   0,
+		SocketSteal: 200,
+		RemoteSteal: 600,
+		// Warming a working set across nodes refetches it line by line:
+		// roughly one byte per cycle of effective refill bandwidth. A 32KB
+		// task costs ~32k cycles off-node (~64k cross-socket) — comparable
+		// to its own work, which is what makes the paper's cache-thrashing
+		// workloads punish wide task spreading on real hardware.
+		BytesPerCycle: 1,
+		WarmupCap:     150000,
+	}
+}
+
+// Name implements MachineModel.
+func (n *NUMA) Name() string { return "numa" }
+
+// nodeOf maps a core to its NUMA node (mesh column).
+func (n *NUMA) nodeOf(id topo.CoreID) int { return n.Mesh.Coord(id).X }
+
+// socketOf maps a core to its socket (two nodes per socket).
+func (n *NUMA) socketOf(id topo.CoreID) int { return n.nodeOf(id) / 2 }
+
+// ProbePenalty implements MachineModel.
+func (n *NUMA) ProbePenalty(thief, victim topo.CoreID) int64 {
+	if n.nodeOf(thief) == n.nodeOf(victim) {
+		return 0
+	}
+	return n.RemoteProbe
+}
+
+// StealPenalty implements MachineModel.
+func (n *NUMA) StealPenalty(thief, victim topo.CoreID) int64 {
+	switch {
+	case n.nodeOf(thief) == n.nodeOf(victim):
+		return n.NodeSteal
+	case n.socketOf(thief) == n.socketOf(victim):
+		return n.SocketSteal
+	default:
+		return n.RemoteSteal
+	}
+}
+
+// ComputeFactor implements MachineModel: compute inflates linearly with
+// the number of active workers, scaled by the task's memory-boundedness.
+// A fully memory-bound task set saturates the memory controllers — Sort on
+// the paper's Opteron shows no speedup at all between 5 and 45 workers —
+// while compute-bound tasks (Fib) scale almost linearly.
+func (n *NUMA) ComputeFactor(memBound float64, workers int) float64 {
+	if memBound <= 0 || workers <= 1 {
+		return 1
+	}
+	return 1 + memBound*float64(workers-1)
+}
+
+// MigrationPenalty implements MachineModel.
+func (n *NUMA) MigrationPenalty(origin, thief topo.CoreID, footprint int64) int64 {
+	if footprint <= 0 || n.nodeOf(origin) == n.nodeOf(thief) {
+		return 0
+	}
+	warm := footprint / n.BytesPerCycle
+	if n.socketOf(origin) != n.socketOf(thief) {
+		warm *= 2
+	}
+	if warm > n.WarmupCap {
+		warm = n.WarmupCap
+	}
+	return warm
+}

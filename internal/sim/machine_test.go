@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"palirria/internal/topo"
+)
+
+func TestIdealModelIsFree(t *testing.T) {
+	m := Ideal{}
+	if m.Name() != "ideal" {
+		t.Fatal("name wrong")
+	}
+	if m.ProbePenalty(1, 2) != 0 || m.StealPenalty(1, 2) != 0 ||
+		m.MigrationPenalty(1, 2, 1<<30) != 0 || m.ComputeFactor(1, 48) != 1 {
+		t.Fatal("ideal machine must charge nothing")
+	}
+}
+
+func numaModel() (*NUMA, *topo.Mesh) {
+	m := topo.MustMesh(8, 6)
+	return NewNUMA(m), m
+}
+
+func TestNUMANodeMapping(t *testing.T) {
+	n, m := numaModel()
+	// Node = column: cores (x, *) share a node; socket = column pair.
+	a := m.ID(topo.Coord{X: 3, Y: 0})
+	b := m.ID(topo.Coord{X: 3, Y: 5})
+	c := m.ID(topo.Coord{X: 2, Y: 0}) // same socket (columns 2,3), other node
+	d := m.ID(topo.Coord{X: 7, Y: 0}) // other socket
+	if n.ProbePenalty(a, b) != 0 {
+		t.Fatal("same-node probe penalized")
+	}
+	if n.ProbePenalty(a, c) != n.RemoteProbe || n.ProbePenalty(a, d) != n.RemoteProbe {
+		t.Fatal("off-node probe not penalized")
+	}
+	if n.StealPenalty(a, b) != n.NodeSteal {
+		t.Fatal("same-node steal penalty wrong")
+	}
+	if n.StealPenalty(a, c) != n.SocketSteal {
+		t.Fatal("same-socket steal penalty wrong")
+	}
+	if n.StealPenalty(a, d) != n.RemoteSteal {
+		t.Fatal("cross-socket steal penalty wrong")
+	}
+}
+
+func TestNUMAMigrationScaling(t *testing.T) {
+	n, m := numaModel()
+	a := m.ID(topo.Coord{X: 3, Y: 0})
+	b := m.ID(topo.Coord{X: 3, Y: 5}) // same node
+	c := m.ID(topo.Coord{X: 2, Y: 0}) // same socket
+	d := m.ID(topo.Coord{X: 7, Y: 0}) // remote socket
+	const fp = 32 * 1024
+	if n.MigrationPenalty(a, b, fp) != 0 {
+		t.Fatal("same-node migration penalized")
+	}
+	sameSocket := n.MigrationPenalty(a, c, fp)
+	remote := n.MigrationPenalty(a, d, fp)
+	if sameSocket != fp/n.BytesPerCycle {
+		t.Fatalf("same-socket warmup = %d, want %d", sameSocket, fp/n.BytesPerCycle)
+	}
+	if remote != 2*sameSocket {
+		t.Fatalf("remote warmup = %d, want 2x same-socket %d", remote, sameSocket)
+	}
+	// The cap binds for giant footprints.
+	if got := n.MigrationPenalty(a, d, 1<<40); got != n.WarmupCap {
+		t.Fatalf("capped warmup = %d, want %d", got, n.WarmupCap)
+	}
+	// Zero footprint is free.
+	if n.MigrationPenalty(a, d, 0) != 0 {
+		t.Fatal("zero footprint penalized")
+	}
+}
+
+func TestNUMAComputeFactor(t *testing.T) {
+	n, _ := numaModel()
+	if n.ComputeFactor(0, 48) != 1 {
+		t.Fatal("compute-bound tasks must not inflate")
+	}
+	if n.ComputeFactor(0.5, 1) != 1 {
+		t.Fatal("single worker must not inflate")
+	}
+	// Linear in (workers-1), scaled by memBound.
+	if got := n.ComputeFactor(1.0, 11); got != 11 {
+		t.Fatalf("factor(1.0, 11) = %v, want 11", got)
+	}
+	if got := n.ComputeFactor(0.5, 11); got != 6 {
+		t.Fatalf("factor(0.5, 11) = %v, want 6", got)
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := DefaultCosts()
+	// The paper's framing: spawn is tens of cycles, steal a few hundred.
+	if c.Spawn <= 0 || c.Spawn > 100 {
+		t.Fatalf("Spawn = %d", c.Spawn)
+	}
+	if c.Steal < 100 || c.Steal > 1000 {
+		t.Fatalf("Steal = %d", c.Steal)
+	}
+	if c.BackoffMax < c.Backoff {
+		t.Fatal("BackoffMax below Backoff")
+	}
+}

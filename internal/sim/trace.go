@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"palirria/internal/topo"
+)
+
+// TraceKind classifies a scheduler trace event.
+type TraceKind uint8
+
+const (
+	// TraceSpawn: a task entered a worker's queue.
+	TraceSpawn TraceKind = iota
+	// TraceSteal: a task moved from victim to thief.
+	TraceSteal
+	// TraceTaskDone: a task completed.
+	TraceTaskDone
+	// TraceBlock: a worker blocked at the sync of a stolen child.
+	TraceBlock
+	// TraceGrant: a job's allotment changed.
+	TraceGrant
+	// TraceRetire: a draining worker exited.
+	TraceRetire
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSpawn:
+		return "spawn"
+	case TraceSteal:
+		return "steal"
+	case TraceTaskDone:
+		return "done"
+	case TraceBlock:
+		return "block"
+	case TraceGrant:
+		return "grant"
+	case TraceRetire:
+		return "retire"
+	}
+	return fmt.Sprintf("TraceKind(%d)", uint8(k))
+}
+
+// TraceEvent is one recorded scheduler event.
+type TraceEvent struct {
+	// Time in cycles.
+	Time int64
+	// Kind of event.
+	Kind TraceKind
+	// Worker is the acting worker (thief for steals).
+	Worker topo.CoreID
+	// Peer is the other party (victim for steals; NoCore otherwise).
+	Peer topo.CoreID
+	// Arg carries kind-specific data (queue length after a spawn, new
+	// allotment size for grants).
+	Arg int
+	// Label is the task label where applicable.
+	Label string
+}
+
+// String renders one line of trace output.
+func (ev TraceEvent) String() string {
+	switch ev.Kind {
+	case TraceSteal:
+		return fmt.Sprintf("%12d  %-6s w%-3d <- w%-3d %s", ev.Time, ev.Kind, ev.Worker, ev.Peer, ev.Label)
+	case TraceGrant:
+		return fmt.Sprintf("%12d  %-6s %d workers", ev.Time, ev.Kind, ev.Arg)
+	default:
+		return fmt.Sprintf("%12d  %-6s w%-3d %s", ev.Time, ev.Kind, ev.Worker, ev.Label)
+	}
+}
+
+// traceRing is a bounded event recorder: the newest cap events win.
+type traceRing struct {
+	buf   []TraceEvent
+	next  int
+	total int
+}
+
+func newTraceRing(cap int) *traceRing {
+	return &traceRing{buf: make([]TraceEvent, 0, cap)}
+}
+
+func (r *traceRing) add(ev TraceEvent) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// events returns the recorded events in chronological order.
+func (r *traceRing) events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// trace records an event if tracing is enabled.
+func (e *engine) trace(kind TraceKind, w, peer topo.CoreID, arg int, label string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.add(TraceEvent{
+		Time: e.now, Kind: kind, Worker: w, Peer: peer, Arg: arg, Label: label,
+	})
+}
+
+// WriteTrace renders events to w, one per line.
+func WriteTrace(w io.Writer, events []TraceEvent) {
+	for _, ev := range events {
+		fmt.Fprintln(w, ev.String())
+	}
+}

@@ -1,0 +1,145 @@
+package sysched
+
+import (
+	"testing"
+
+	"palirria/internal/topo"
+)
+
+func TestArbiterRegisterAndGrow(t *testing.T) {
+	m := topo.MustMesh(9, 9)
+	ab := NewArbiter(m)
+	app1, err := ab.Register("app1", m.ID(topo.Coord{X: 2, Y: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app1.Allotment().Size() != 5 {
+		t.Fatalf("initial size = %d, want 5 (uncontended)", app1.Allotment().Size())
+	}
+	a := ab.Request(app1, 12)
+	if a.Size() != 12 {
+		t.Fatalf("grow = %d, want 12", a.Size())
+	}
+	// All members within a sane distance and owned exactly once.
+	for _, id := range a.Members() {
+		if m.HopCount(app1.Source(), id) > 4 {
+			t.Fatalf("member %d too far for a 12-worker grant", id)
+		}
+	}
+}
+
+func TestArbiterNoOverlap(t *testing.T) {
+	m := topo.MustMesh(9, 9)
+	ab := NewArbiter(m)
+	a1, _ := ab.Register("a", m.ID(topo.Coord{X: 2, Y: 2}))
+	a2, _ := ab.Register("b", m.ID(topo.Coord{X: 6, Y: 2}))
+	a3, _ := ab.Register("c", m.ID(topo.Coord{X: 4, Y: 6}))
+	ab.Request(a1, 20)
+	ab.Request(a2, 20)
+	ab.Request(a3, 20)
+	seen := map[topo.CoreID]string{}
+	for _, app := range ab.Apps() {
+		for _, id := range app.Allotment().Members() {
+			if owner, dup := seen[id]; dup {
+				t.Fatalf("core %d owned by both %s and %s", id, owner, app.Name)
+			}
+			seen[id] = app.Name
+		}
+	}
+	total := a1.Allotment().Size() + a2.Allotment().Size() + a3.Allotment().Size()
+	if total+ab.FreeCores() != m.Usable() {
+		t.Fatalf("accounting broken: %d owned + %d free != %d usable",
+			total, ab.FreeCores(), m.Usable())
+	}
+}
+
+func TestArbiterContention(t *testing.T) {
+	// On a small mesh, two greedy apps exhaust the cores; growth stalls.
+	m := topo.MustMesh(4, 2)
+	ab := NewArbiter(m)
+	a1, _ := ab.Register("a", 0)
+	a2, _ := ab.Register("b", 7)
+	ab.Request(a1, 8)
+	ab.Request(a2, 8)
+	if a1.Allotment().Size()+a2.Allotment().Size() != 8 {
+		t.Fatalf("sizes %d + %d != 8", a1.Allotment().Size(), a2.Allotment().Size())
+	}
+	if ab.FreeCores() != 0 {
+		t.Fatalf("free = %d, want 0", ab.FreeCores())
+	}
+	// The deprived app grows once the other releases cores.
+	before := a2.Allotment().Size()
+	ab.Request(a1, 2)
+	after := ab.Request(a2, 8)
+	if after.Size() <= before {
+		t.Fatalf("app2 did not grow after release: %d -> %d", before, after.Size())
+	}
+}
+
+func TestArbiterShrinkKeepsSource(t *testing.T) {
+	m := topo.MustMesh(9, 9)
+	ab := NewArbiter(m)
+	app, _ := ab.Register("a", m.ID(topo.Coord{X: 4, Y: 4}))
+	ab.Request(app, 20)
+	a := ab.Request(app, 1)
+	if a.Size() != 1 || a.Source() != m.ID(topo.Coord{X: 4, Y: 4}) {
+		t.Fatalf("shrink to 1 = %v", a)
+	}
+	if !a.Contains(a.Source()) {
+		t.Fatal("source released")
+	}
+	// Shrink releases the farthest first: request 5 after growing again.
+	ab.Request(app, 20)
+	a = ab.Request(app, 5)
+	for _, id := range a.Members() {
+		if m.HopCount(a.Source(), id) > 2 {
+			t.Fatalf("kept a far core %d after shrink", id)
+		}
+	}
+}
+
+func TestArbiterIncompleteClasses(t *testing.T) {
+	// Contended allotments have incomplete classes (paper Fig. 2), which
+	// Classify must handle.
+	m := topo.MustMesh(6, 6)
+	ab := NewArbiter(m)
+	a1, _ := ab.Register("a", m.ID(topo.Coord{X: 1, Y: 1}))
+	a2, _ := ab.Register("b", m.ID(topo.Coord{X: 4, Y: 4}))
+	ab.Request(a1, 14)
+	ab.Request(a2, 14)
+	for _, app := range []*App{a1, a2} {
+		c := topo.Classify(app.Allotment())
+		if c.Complete() && app.Allotment().Size() > 5 {
+			t.Logf("%s happens to be complete (%d workers)", app.Name, app.Allotment().Size())
+		}
+		// Classification must cover every member.
+		for _, id := range app.Allotment().Members() {
+			if c.Class(id) == topo.ClassNone {
+				t.Fatalf("%s: member %d unclassified", app.Name, id)
+			}
+		}
+	}
+}
+
+func TestArbiterValidation(t *testing.T) {
+	m := topo.MustMesh(4, 2)
+	m.Reserve(0)
+	ab := NewArbiter(m)
+	if _, err := ab.Register("a", 0); err == nil {
+		t.Error("reserved source must fail")
+	}
+	if _, err := ab.Register("a", 99); err == nil {
+		t.Error("invalid source must fail")
+	}
+	app, err := ab.Register("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ab.Register("b", 1); err == nil {
+		t.Error("double registration on one core must fail")
+	}
+	ab.Release(app)
+	if len(ab.Apps()) != 0 || ab.FreeCores() != m.Usable() {
+		t.Fatal("release did not return cores")
+	}
+}

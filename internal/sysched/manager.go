@@ -1,0 +1,126 @@
+// Package sysched is the system layer of the paper's two-level scheduling
+// architecture: it owns the mapping from estimator requests to actual
+// worker grants.
+//
+// The system scheduler adds and removes workers in whole zones (§4.1/§5):
+// allotment sizes step through the zone series of the topology (5, 12, 20,
+// 27 on the 32-core platform; 5, 13, 24, 35, 42, 45 on the 48-core one).
+// In the paper's evaluation the OS always satisfies increment requests up
+// to the total number of available cores; Manager reproduces that policy
+// for a single application. Arbiter extends it to multiprogrammed
+// deployments (paper Fig. 2), where competing applications receive
+// incomplete allotments.
+package sysched
+
+import (
+	"fmt"
+
+	"palirria/internal/topo"
+)
+
+// Manager grants zone-granular allotments to a single application.
+type Manager struct {
+	mesh        *topo.Mesh
+	source      topo.CoreID
+	minDiaspora int
+	maxDiaspora int
+	current     *topo.Allotment
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithMaxDiaspora caps the allotment's diaspora. The paper's evaluation
+// steps through fixed zone sets, capping the simulator platform at d=4
+// (27 workers) and the NUMA platform at d=6 (45 workers).
+func WithMaxDiaspora(d int) Option {
+	return func(m *Manager) { m.maxDiaspora = d }
+}
+
+// WithInitialDiaspora sets the starting diaspora (default 1: the minimum
+// set of 5 workers the adaptive implementations start with).
+func WithInitialDiaspora(d int) Option {
+	return func(m *Manager) { m.minDiaspora = d }
+}
+
+// NewManager creates a manager whose application starts with the minimal
+// allotment (zone 1 plus the source) unless configured otherwise.
+func NewManager(mesh *topo.Mesh, source topo.CoreID, opts ...Option) (*Manager, error) {
+	m := &Manager{
+		mesh:        mesh,
+		source:      source,
+		minDiaspora: 1,
+		maxDiaspora: mesh.MaxDiaspora(source),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.maxDiaspora > mesh.MaxDiaspora(source) {
+		m.maxDiaspora = mesh.MaxDiaspora(source)
+	}
+	if m.maxDiaspora < 1 {
+		// Degenerate single-core machine: the allotment is just the source.
+		m.maxDiaspora = 1
+	}
+	if m.minDiaspora < 1 || m.minDiaspora > m.maxDiaspora {
+		return nil, fmt.Errorf("sysched: initial diaspora %d outside [1, %d]", m.minDiaspora, m.maxDiaspora)
+	}
+	a, err := topo.NewAllotment(mesh, source, m.minDiaspora)
+	if err != nil {
+		return nil, err
+	}
+	m.current = a
+	return m, nil
+}
+
+// Current returns the granted allotment.
+func (m *Manager) Current() *topo.Allotment { return m.current }
+
+// Series returns the allotment sizes reachable under the diaspora cap.
+func (m *Manager) Series() []int {
+	return topo.ZoneSeries(m.mesh, m.source, m.maxDiaspora)
+}
+
+// Grant maps a desired worker count to the zone-granular allotment the
+// system actually provides: the smallest complete allotment with at least
+// desired workers, clamped to [1, maxDiaspora]. It returns the new
+// allotment and whether it changed.
+//
+// The OS "removes and adds workers in sets" (whole zones) but a single
+// grant may cross several zones at once: Palirria's estimates move one
+// zone per quantum by construction, while ASTEAL's multiplicative desire
+// deliberately jumps — that exponential convergence (and the drain cost of
+// its over-corrections) is part of the algorithm being compared.
+func (m *Manager) Grant(desired int) (*topo.Allotment, bool) {
+	targetD := m.diasporaFor(desired)
+	if targetD > m.maxDiaspora {
+		targetD = m.maxDiaspora
+	}
+	if targetD < 1 {
+		targetD = 1
+	}
+	if targetD == m.current.Diaspora() {
+		return m.current, false
+	}
+	a, err := topo.NewAllotment(m.mesh, m.source, targetD)
+	if err != nil {
+		return m.current, false
+	}
+	m.current = a
+	return a, true
+}
+
+// diasporaFor returns the smallest diaspora whose complete allotment holds
+// at least desired workers, clamped to the cap.
+func (m *Manager) diasporaFor(desired int) int {
+	for d := 1; d <= m.maxDiaspora; d++ {
+		a, err := topo.NewAllotment(m.mesh, m.source, d)
+		if err != nil {
+			break
+		}
+		if a.Size() >= desired {
+			return d
+		}
+	}
+	return m.maxDiaspora
+}

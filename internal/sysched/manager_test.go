@@ -1,0 +1,141 @@
+package sysched
+
+import (
+	"reflect"
+	"testing"
+
+	"palirria/internal/topo"
+)
+
+func simMesh() (*topo.Mesh, topo.CoreID) {
+	m := topo.MustMesh(8, 4)
+	m.Reserve(0, 1)
+	return m, topo.CoreID(20)
+}
+
+func TestNewManagerDefaults(t *testing.T) {
+	m, src := simMesh()
+	mgr, err := NewManager(m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current().Size() != 5 {
+		t.Fatalf("initial size = %d, want 5", mgr.Current().Size())
+	}
+}
+
+func TestNewManagerOptions(t *testing.T) {
+	m, src := simMesh()
+	mgr, err := NewManager(m, src, WithInitialDiaspora(3), WithMaxDiaspora(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Current().Size() != 20 {
+		t.Fatalf("initial size = %d, want 20", mgr.Current().Size())
+	}
+	if got := mgr.Series(); !reflect.DeepEqual(got, []int{5, 12, 20, 27}) {
+		t.Fatalf("series = %v", got)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	m, src := simMesh()
+	if _, err := NewManager(m, src, WithInitialDiaspora(0)); err == nil {
+		t.Error("diaspora 0 must fail")
+	}
+	if _, err := NewManager(m, src, WithInitialDiaspora(9)); err == nil {
+		t.Error("diaspora above max must fail")
+	}
+	if _, err := NewManager(m, topo.CoreID(0)); err == nil {
+		t.Error("reserved source must fail")
+	}
+	// Excessive max cap is clamped, not an error.
+	mgr, err := NewManager(m, src, WithMaxDiaspora(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.maxDiaspora != m.MaxDiaspora(src) {
+		t.Fatal("max diaspora not clamped")
+	}
+}
+
+func TestGrantJumpsToCoveringZone(t *testing.T) {
+	m, src := simMesh()
+	mgr, _ := NewManager(m, src, WithMaxDiaspora(4))
+	// A multiplicative desire (ASTEAL-style) is granted directly: 27
+	// needs d=4.
+	a, changed := mgr.Grant(27)
+	if !changed || a.Size() != 27 {
+		t.Fatalf("grant = (%d, %v), want (27, true)", a.Size(), changed)
+	}
+	// At the cap, further increase requests change nothing.
+	a, changed = mgr.Grant(40)
+	if changed || a.Size() != 27 {
+		t.Fatalf("grant at cap = (%d, %v), want (27, false)", a.Size(), changed)
+	}
+	// A big shrink also jumps.
+	a, changed = mgr.Grant(6)
+	if !changed || a.Size() != 12 {
+		t.Fatalf("shrink grant = (%d, %v), want (12, true)", a.Size(), changed)
+	}
+}
+
+func TestGrantRoundsUpToZone(t *testing.T) {
+	m, src := simMesh()
+	mgr, _ := NewManager(m, src, WithMaxDiaspora(4))
+	// Desire 8 needs at least d=2 (12 workers): increment requests are
+	// always satisfied at zone granularity.
+	a, changed := mgr.Grant(8)
+	if !changed || a.Size() != 12 {
+		t.Fatalf("grant = (%d, %v), want (12, true)", a.Size(), changed)
+	}
+}
+
+func TestGrantDecrease(t *testing.T) {
+	m, src := simMesh()
+	mgr, _ := NewManager(m, src, WithInitialDiaspora(3), WithMaxDiaspora(4))
+	a, changed := mgr.Grant(5)
+	if !changed || a.Size() != 5 {
+		t.Fatalf("decrease = (%d, %v), want (5, true)", a.Size(), changed)
+	}
+	// Below the minimum nothing changes.
+	a, changed = mgr.Grant(1)
+	if changed || a.Size() != 5 {
+		t.Fatalf("grant below min = (%d, %v), want (5, false)", a.Size(), changed)
+	}
+}
+
+func TestGrantKeep(t *testing.T) {
+	m, src := simMesh()
+	mgr, _ := NewManager(m, src)
+	if _, changed := mgr.Grant(5); changed {
+		t.Fatal("grant of current size must not change anything")
+	}
+	// A desire within the current zone's size also keeps.
+	if _, changed := mgr.Grant(4); changed {
+		t.Fatal("desire 4 still fits d=1")
+	}
+}
+
+func TestGrantSeriesLinux(t *testing.T) {
+	m := topo.MustMesh(8, 6)
+	m.Reserve(0, 1, 2)
+	mgr, err := NewManager(m, 28, WithMaxDiaspora(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stepping the desire one worker past the current size traverses the
+	// exact allotment series of the paper's 48-core platform.
+	sizes := []int{mgr.Current().Size()}
+	for {
+		a, changed := mgr.Grant(mgr.Current().Size() + 1)
+		if !changed {
+			break
+		}
+		sizes = append(sizes, a.Size())
+	}
+	want := []int{5, 13, 24, 35, 42, 45}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("growth series = %v, want %v", sizes, want)
+	}
+}

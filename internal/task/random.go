@@ -1,0 +1,80 @@
+package task
+
+import "palirria/internal/xrand"
+
+// RandomTreeConfig bounds the shape of generated task trees.
+type RandomTreeConfig struct {
+	// Seed makes the tree reproducible.
+	Seed uint64
+	// MaxDepth bounds recursion (default 6).
+	MaxDepth int
+	// MaxChildren bounds children per node (default 4).
+	MaxChildren int
+	// MaxWork bounds each compute segment in cycles (default 500).
+	MaxWork int64
+	// CallProb (0..100) is the chance a child is called instead of
+	// spawned (default 25).
+	CallProb int
+}
+
+// RandomTree deterministically generates a structurally valid fork/join
+// task tree: arbitrary interleavings of compute segments, spawns, calls,
+// explicit syncs and implicit joins. Used to property-test the execution
+// platforms — any generated tree must run to completion with exact work
+// conservation on any scheduler configuration.
+func RandomTree(cfg RandomTreeConfig) *Spec {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.MaxChildren == 0 {
+		cfg.MaxChildren = 4
+	}
+	if cfg.MaxWork == 0 {
+		cfg.MaxWork = 500
+	}
+	if cfg.CallProb == 0 {
+		cfg.CallProb = 25
+	}
+	return randomNode(cfg, cfg.Seed, 0)
+}
+
+func randomNode(cfg RandomTreeConfig, path uint64, depth int) *Spec {
+	h := xrand.Hash64(cfg.Seed ^ xrand.Hash64(path))
+	rng := xrand.NewXoshiro256(h)
+	s := &Spec{Label: "rnd"}
+	if depth >= cfg.MaxDepth {
+		s.Ops = []Op{Compute(1 + int64(rng.Intn(int(cfg.MaxWork))))}
+		return s
+	}
+	children := rng.Intn(cfg.MaxChildren + 1)
+	outstanding := 0
+	for i := 0; i < children; i++ {
+		// Optional compute segment before each child.
+		if rng.Intn(2) == 0 {
+			s.Ops = append(s.Ops, Compute(1+int64(rng.Intn(int(cfg.MaxWork)))))
+		}
+		cp := path*0x100000001b3 + uint64(i) + 1
+		child := func() *Spec { return randomNode(cfg, cp, depth+1) }
+		if rng.Intn(100) < cfg.CallProb {
+			s.Ops = append(s.Ops, Call(child))
+		} else {
+			s.Ops = append(s.Ops, Spawn(child))
+			outstanding++
+		}
+		// Randomly sync some outstanding spawns early.
+		for outstanding > 0 && rng.Intn(3) == 0 {
+			s.Ops = append(s.Ops, Sync())
+			outstanding--
+		}
+	}
+	// Trailing compute; remaining spawns join implicitly at task end
+	// about half the time, explicitly otherwise.
+	if rng.Intn(2) == 0 {
+		for outstanding > 0 {
+			s.Ops = append(s.Ops, Sync())
+			outstanding--
+		}
+	}
+	s.Ops = append(s.Ops, Compute(1+int64(rng.Intn(int(cfg.MaxWork)))))
+	return s
+}

@@ -1,0 +1,245 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLeaf(t *testing.T) {
+	l := Leaf("leaf", 42)
+	st, err := Measure(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 1 || st.Work != 42 || st.Span != 42 || st.Spawns != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		want string
+	}{
+		{"nil", nil, "nil spec"},
+		{"negwork", &Spec{Ops: []Op{Compute(-1)}}, "negative work"},
+		{"nospawngen", &Spec{Ops: []Op{{Kind: OpSpawn}}}, "without builder"},
+		{"nocallgen", &Spec{Ops: []Op{{Kind: OpCall}}}, "without builder"},
+		{"strayedsync", &Spec{Ops: []Op{Sync()}}, "sync without outstanding spawn"},
+		{"badkind", &Spec{Ops: []Op{{Kind: OpKind(9)}}}, "unknown kind"},
+		{"negfoot", &Spec{Footprint: -1}, "negative footprint"},
+	}
+	for _, c := range cases {
+		_, err := Validate(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateUnjoined(t *testing.T) {
+	child := func() *Spec { return Leaf("c", 1) }
+	s := &Spec{Ops: []Op{Spawn(child), Spawn(child), Sync()}}
+	n, err := Validate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("unjoined = %d, want 1", n)
+	}
+}
+
+func TestSpawnJoin(t *testing.T) {
+	child := func() *Spec { return Leaf("c", 10) }
+	s := SpawnJoin("p", 5, []Builder{child, child, child}, 7, 3)
+	if n, err := Validate(s); err != nil || n != 0 {
+		t.Fatalf("validate = (%d, %v)", n, err)
+	}
+	st, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 4 || st.Spawns != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Work != 5+7+3+30 {
+		t.Fatalf("work = %d, want 45", st.Work)
+	}
+	// Span: pre 5; all children spawned at 5; continuation 5+7+3=15; the
+	// children each end at 5+10=15; implicit... syncs happen after mid:
+	// path after mid = 12; sync each child (end 15) -> path 15; post -> 18.
+	if st.Span != 18 {
+		t.Fatalf("span = %d, want 18", st.Span)
+	}
+}
+
+func TestSpawnJoinZeroWorkOmitted(t *testing.T) {
+	child := func() *Spec { return Leaf("c", 1) }
+	s := SpawnJoin("p", 0, []Builder{child}, 0, 0)
+	for _, op := range s.Ops {
+		if op.Kind == OpCompute {
+			t.Fatal("zero work must not emit compute ops")
+		}
+	}
+}
+
+// fibSpec builds the WOOL-style fib tree: spawn fib(n-1), call fib(n-2),
+// sync. Known node counts validate Measure.
+func fibSpec(n int) *Spec {
+	if n < 2 {
+		return Leaf("fib", 1)
+	}
+	return &Spec{
+		Label: "fib",
+		Ops: []Op{
+			Spawn(func() *Spec { return fibSpec(n - 1) }),
+			Call(func() *Spec { return fibSpec(n - 2) }),
+			Sync(),
+			Compute(1), // the addition
+		},
+	}
+}
+
+func TestMeasureFib(t *testing.T) {
+	// Node count of the fib call tree: nodes(n) = nodes(n-1)+nodes(n-2)+1,
+	// nodes(0)=nodes(1)=1 -> for n=10: 177.
+	st, err := Measure(fibSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 177 {
+		t.Fatalf("tasks = %d, want 177", st.Tasks)
+	}
+	// Every internal node computes 1, every leaf computes 1: work = tasks.
+	if st.Work != 177 {
+		t.Fatalf("work = %d, want 177", st.Work)
+	}
+	// Span: critical path through the deepest chain; for fib it is the
+	// leftmost spine: span(n) = span(n-1) + 1 in this shape when the spawn
+	// dominates, span(0)=span(1)=1.
+	if st.Span != 10 {
+		t.Fatalf("span = %d, want 10", st.Span)
+	}
+	if p := st.Parallelism(); p < 17 || p > 18 {
+		t.Fatalf("parallelism = %v, want ~17.7", p)
+	}
+}
+
+func TestMeasureCallSerializes(t *testing.T) {
+	// Two called children serialize: span = sum.
+	child := func() *Spec { return Leaf("c", 10) }
+	s := &Spec{Ops: []Op{Call(child), Call(child)}}
+	st, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Span != 20 || st.Work != 20 {
+		t.Fatalf("stats = %+v, want span 20", st)
+	}
+	// Two spawned children overlap: span = max + 0 continuation.
+	s = &Spec{Ops: []Op{Spawn(child), Spawn(child), Sync(), Sync()}}
+	st, _ = Measure(s)
+	if st.Span != 10 {
+		t.Fatalf("spawned span = %d, want 10", st.Span)
+	}
+}
+
+func TestMeasureImplicitJoin(t *testing.T) {
+	// A spawn with no explicit sync joins at task end.
+	child := func() *Spec { return Leaf("c", 100) }
+	s := &Spec{Ops: []Op{Spawn(child), Compute(5)}}
+	st, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Span != 100 {
+		t.Fatalf("span = %d, want 100", st.Span)
+	}
+}
+
+func TestMeasurePropagatesChildError(t *testing.T) {
+	bad := func() *Spec { return &Spec{Ops: []Op{Compute(-5)}} }
+	s := &Spec{Ops: []Op{Spawn(bad), Sync()}}
+	if _, err := Measure(s); err == nil {
+		t.Fatal("expected error from child")
+	}
+	s = &Spec{Ops: []Op{Call(bad)}}
+	if _, err := Measure(s); err == nil {
+		t.Fatal("expected error from called child")
+	}
+}
+
+func TestParallelismZeroSpan(t *testing.T) {
+	if (Stats{}).Parallelism() != 0 {
+		t.Fatal("zero-span parallelism must be 0")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		OpCompute: "compute", OpSpawn: "spawn", OpCall: "call", OpSync: "sync",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if OpKind(77).String() != "OpKind(77)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestRandomTreeValid(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		s := RandomTree(RandomTreeConfig{Seed: seed})
+		if _, err := Measure(s); err != nil {
+			t.Fatalf("seed %d: invalid tree: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a, err := Measure(RandomTree(RandomTreeConfig{Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Measure(RandomTree(RandomTreeConfig{Seed: 7}))
+	if a != b {
+		t.Fatalf("random tree not deterministic: %+v vs %+v", a, b)
+	}
+	c, _ := Measure(RandomTree(RandomTreeConfig{Seed: 8}))
+	if a == c {
+		t.Fatal("distinct seeds produced identical trees (suspicious)")
+	}
+}
+
+func TestRandomTreeUsesAllOps(t *testing.T) {
+	// Across seeds, the generator exercises spawns, calls, explicit syncs
+	// and implicit joins.
+	var sawSpawn, sawCall, sawSync, sawImplicit bool
+	for seed := uint64(0); seed < 50; seed++ {
+		s := RandomTree(RandomTreeConfig{Seed: seed})
+		unjoined, err := Validate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unjoined > 0 {
+			sawImplicit = true
+		}
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case OpSpawn:
+				sawSpawn = true
+			case OpCall:
+				sawCall = true
+			case OpSync:
+				sawSync = true
+			}
+		}
+	}
+	if !sawSpawn || !sawCall || !sawSync || !sawImplicit {
+		t.Fatalf("coverage: spawn=%v call=%v sync=%v implicit=%v",
+			sawSpawn, sawCall, sawSync, sawImplicit)
+	}
+}

@@ -1,0 +1,234 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allotment is the set of workers granted to one workload: a source core s
+// plus further members, each at some hop count from s. The diaspora d is the
+// maximum such distance. A zone Z_k is the subset of members at distance
+// exactly k; the allotment changes size one whole zone at a time (§4.1 of
+// the paper: "a zone is the unit at which the size of an allotment changes").
+//
+// Allotment is immutable; Grow and Shrink return new values. This makes it
+// safe to share between the runtime scheduler and the estimation helper.
+type Allotment struct {
+	mesh     *Mesh
+	source   CoreID
+	diaspora int
+	members  []CoreID // sorted by (zone, id); includes source
+	isMember []bool   // indexed by CoreID
+}
+
+// NewAllotment builds the complete allotment of all usable cores within
+// hop count d of source (source itself included). d must be >= 1: the
+// minimal allotment in the paper is "zone 1 plus the source".
+func NewAllotment(m *Mesh, source CoreID, d int) (*Allotment, error) {
+	if !m.Valid(source) {
+		return nil, fmt.Errorf("topo: invalid source core %d", source)
+	}
+	if m.Reserved(source) {
+		return nil, fmt.Errorf("topo: source core %d is reserved", source)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("topo: diaspora %d < 1", d)
+	}
+	var members []CoreID
+	for id := CoreID(0); int(id) < m.NumCores(); id++ {
+		if m.Reserved(id) {
+			continue
+		}
+		if m.HopCount(source, id) <= d {
+			members = append(members, id)
+		}
+	}
+	return newAllotmentFromMembers(m, source, members)
+}
+
+// NewAllotmentFromCores builds a (possibly incomplete) allotment from an
+// explicit member set. Multiprogrammed deployments (paper Fig. 2) produce
+// exactly such allotments: each application holds whichever cores the system
+// scheduler could spare, so classes are usually incomplete. The source is
+// added if absent; reserved or invalid cores are rejected.
+func NewAllotmentFromCores(m *Mesh, source CoreID, cores []CoreID) (*Allotment, error) {
+	if !m.Valid(source) {
+		return nil, fmt.Errorf("topo: invalid source core %d", source)
+	}
+	if m.Reserved(source) {
+		return nil, fmt.Errorf("topo: source core %d is reserved", source)
+	}
+	seen := make(map[CoreID]bool, len(cores)+1)
+	members := []CoreID{source}
+	seen[source] = true
+	for _, id := range cores {
+		if !m.Valid(id) {
+			return nil, fmt.Errorf("topo: invalid member core %d", id)
+		}
+		if m.Reserved(id) {
+			return nil, fmt.Errorf("topo: member core %d is reserved", id)
+		}
+		if !seen[id] {
+			seen[id] = true
+			members = append(members, id)
+		}
+	}
+	return newAllotmentFromMembers(m, source, members)
+}
+
+func newAllotmentFromMembers(m *Mesh, source CoreID, members []CoreID) (*Allotment, error) {
+	a := &Allotment{
+		mesh:     m,
+		source:   source,
+		members:  append([]CoreID(nil), members...),
+		isMember: make([]bool, m.NumCores()),
+	}
+	for _, id := range a.members {
+		a.isMember[id] = true
+		if hc := m.HopCount(source, id); hc > a.diaspora {
+			a.diaspora = hc
+		}
+	}
+	sort.Slice(a.members, func(i, j int) bool {
+		zi, zj := m.HopCount(source, a.members[i]), m.HopCount(source, a.members[j])
+		if zi != zj {
+			return zi < zj
+		}
+		return a.members[i] < a.members[j]
+	})
+	return a, nil
+}
+
+// Mesh returns the topology the allotment lives on.
+func (a *Allotment) Mesh() *Mesh { return a.mesh }
+
+// Source returns the source worker s.
+func (a *Allotment) Source() CoreID { return a.source }
+
+// Diaspora returns d, the maximum hop count of any member from the source.
+func (a *Allotment) Diaspora() int { return a.diaspora }
+
+// Size returns the number of workers, including the source.
+func (a *Allotment) Size() int { return len(a.members) }
+
+// Members returns all member cores sorted by (zone, id). The slice is shared;
+// callers must not modify it.
+func (a *Allotment) Members() []CoreID { return a.members }
+
+// Contains reports whether core id belongs to the allotment.
+func (a *Allotment) Contains(id CoreID) bool {
+	return a.mesh.Valid(id) && a.isMember[id]
+}
+
+// ZoneOf returns the zone index (hop count from the source) of member id.
+// It panics if id is not a member.
+func (a *Allotment) ZoneOf(id CoreID) int {
+	if !a.Contains(id) {
+		panic(fmt.Sprintf("topo: core %d is not in the allotment", id))
+	}
+	return a.mesh.HopCount(a.source, id)
+}
+
+// Zone returns the members at distance exactly k from the source, sorted by
+// id. Zone(0) is the singleton {source}.
+func (a *Allotment) Zone(k int) []CoreID {
+	var out []CoreID
+	for _, id := range a.members {
+		if a.mesh.HopCount(a.source, id) == k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Grow returns the allotment extended by the complete next zone Z_{d+1}
+// (all usable cores at distance d+1). ok is false — and the receiver is
+// returned unchanged — when no usable cores exist at distance d+1.
+func (a *Allotment) Grow() (next *Allotment, ok bool) {
+	d := a.diaspora + 1
+	added := false
+	members := append([]CoreID(nil), a.members...)
+	for _, id := range a.mesh.Ring(a.source, d) {
+		if a.mesh.Reserved(id) || a.isMember[id] {
+			continue
+		}
+		members = append(members, id)
+		added = true
+	}
+	if !added {
+		return a, false
+	}
+	n, err := newAllotmentFromMembers(a.mesh, a.source, members)
+	if err != nil {
+		return a, false
+	}
+	return n, true
+}
+
+// Shrink returns the allotment with the outermost zone Z_d removed. ok is
+// false — and the receiver is returned unchanged — when the allotment is
+// already at the minimum (zone 1 plus the source).
+func (a *Allotment) Shrink() (next *Allotment, ok bool) {
+	if a.diaspora <= 1 {
+		return a, false
+	}
+	var members []CoreID
+	for _, id := range a.members {
+		if a.mesh.HopCount(a.source, id) < a.diaspora {
+			members = append(members, id)
+		}
+	}
+	n, err := newAllotmentFromMembers(a.mesh, a.source, members)
+	if err != nil {
+		return a, false
+	}
+	return n, true
+}
+
+// ZoneSeries returns the cumulative allotment sizes for diaspora values
+// 1..maxD on mesh m with the given source; these are the sizes the system
+// scheduler steps the workload's worker count through, and the fixed sizes
+// the paper's baselines use (5, 12, 20, 27 on the 8x4/32-core platform and
+// 5, 13, 24, 35, 42, 45 on the 8x6/48-core platform).
+func ZoneSeries(m *Mesh, source CoreID, maxD int) []int {
+	out := make([]int, 0, maxD)
+	for d := 1; d <= maxD; d++ {
+		n := 0
+		for id := CoreID(0); int(id) < m.NumCores(); id++ {
+			if m.Reserved(id) {
+				continue
+			}
+			if m.HopCount(source, id) <= d {
+				n++
+			}
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// DiasporaForSize returns the smallest diaspora whose complete allotment
+// reaches at least size workers, and that allotment. ok is false when even
+// the maximum diaspora yields fewer than size workers.
+func DiasporaForSize(m *Mesh, source CoreID, size int) (d int, a *Allotment, ok bool) {
+	maxD := m.MaxDiaspora(source)
+	for d = 1; d <= maxD; d++ {
+		cur, err := NewAllotment(m, source, d)
+		if err != nil {
+			return 0, nil, false
+		}
+		if cur.Size() >= size {
+			return d, cur, true
+		}
+	}
+	cur, err := NewAllotment(m, source, maxD)
+	if err != nil {
+		return 0, nil, false
+	}
+	return maxD, cur, false
+}
+
+// String describes the allotment, e.g. "allotment src=20 d=4 size=27".
+func (a *Allotment) String() string {
+	return fmt.Sprintf("allotment src=%d d=%d size=%d", a.source, a.diaspora, a.Size())
+}

@@ -1,0 +1,220 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// simPlatform returns the paper's simulated platform: 32-core 8x4 mesh
+// running Barrelfish, cores 0 and 1 reserved, source on core 20.
+func simPlatform(t testing.TB) (*Mesh, CoreID) {
+	t.Helper()
+	m := MustMesh(8, 4)
+	m.Reserve(0, 1)
+	return m, CoreID(20)
+}
+
+// numaPlatform returns the paper's real-hardware platform as modelled: a
+// 48-core 8x6 mesh with cores 0, 1 and 2 reserved and source core 28.
+// Reserving core 2 in addition to the paper's stated 0 and 1 is required to
+// reproduce the exact fixed allotment series 5, 13, 24, 35, 42, 45 the paper
+// reports (see DESIGN.md).
+func numaPlatform(t testing.TB) (*Mesh, CoreID) {
+	t.Helper()
+	m := MustMesh(8, 6)
+	m.Reserve(0, 1, 2)
+	return m, CoreID(28)
+}
+
+func TestZoneSeriesMatchesPaperSimulator(t *testing.T) {
+	m, src := simPlatform(t)
+	got := ZoneSeries(m, src, 4)
+	want := []int{5, 12, 20, 27}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("8x4 zone series = %v, want %v (paper fixed allotments)", got, want)
+	}
+}
+
+func TestZoneSeriesMatchesPaperLinux(t *testing.T) {
+	m, src := numaPlatform(t)
+	got := ZoneSeries(m, src, 6)
+	want := []int{5, 13, 24, 35, 42, 45}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("8x6 zone series = %v, want %v (paper fixed allotments)", got, want)
+	}
+}
+
+func TestNewAllotmentValidation(t *testing.T) {
+	m, _ := simPlatform(t)
+	if _, err := NewAllotment(m, CoreID(99), 1); err == nil {
+		t.Error("expected error for invalid source")
+	}
+	if _, err := NewAllotment(m, CoreID(0), 1); err == nil {
+		t.Error("expected error for reserved source")
+	}
+	if _, err := NewAllotment(m, CoreID(20), 0); err == nil {
+		t.Error("expected error for diaspora 0")
+	}
+}
+
+func TestAllotmentBasics(t *testing.T) {
+	m, src := simPlatform(t)
+	a, err := NewAllotment(m, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", a.Size())
+	}
+	if a.Source() != src || a.Diaspora() != 1 {
+		t.Fatalf("source/diaspora wrong: %v", a)
+	}
+	if !a.Contains(src) {
+		t.Fatal("allotment must contain the source")
+	}
+	if a.ZoneOf(src) != 0 {
+		t.Fatal("source must be in zone 0")
+	}
+	if z1 := a.Zone(1); len(z1) != 4 {
+		t.Fatalf("zone 1 has %d members, want 4", len(z1))
+	}
+	if z0 := a.Zone(0); len(z0) != 1 || z0[0] != src {
+		t.Fatalf("zone 0 = %v, want [%d]", z0, src)
+	}
+}
+
+func TestMembersSortedByZoneThenID(t *testing.T) {
+	m, src := simPlatform(t)
+	a, _ := NewAllotment(m, src, 3)
+	prev := -1
+	prevID := CoreID(-1)
+	for _, id := range a.Members() {
+		z := a.ZoneOf(id)
+		if z < prev || (z == prev && id <= prevID) {
+			t.Fatalf("members not sorted by (zone,id) at %d", id)
+		}
+		if z != prev {
+			prev, prevID = z, CoreID(-1)
+		}
+		prevID = id
+	}
+}
+
+func TestGrowShrinkRoundTrip(t *testing.T) {
+	m, src := simPlatform(t)
+	a, _ := NewAllotment(m, src, 1)
+	sizes := []int{a.Size()}
+	for {
+		next, ok := a.Grow()
+		if !ok {
+			break
+		}
+		a = next
+		sizes = append(sizes, a.Size())
+	}
+	// 8x4 with 2 reserved: 5, 12, 20, 27, then 30 (the three far edge cores).
+	want := []int{5, 12, 20, 27, 30}
+	if !reflect.DeepEqual(sizes, want) {
+		t.Fatalf("grow series = %v, want %v", sizes, want)
+	}
+	// Shrink all the way back down.
+	for i := len(want) - 2; i >= 0; i-- {
+		next, ok := a.Shrink()
+		if !ok {
+			t.Fatalf("shrink failed at step %d", i)
+		}
+		a = next
+		if a.Size() != want[i] {
+			t.Fatalf("shrink size = %d, want %d", a.Size(), want[i])
+		}
+	}
+	if _, ok := a.Shrink(); ok {
+		t.Fatal("shrinking below the minimum must fail")
+	}
+}
+
+func TestGrowAtMaxFails(t *testing.T) {
+	m, src := simPlatform(t)
+	a, _ := NewAllotment(m, src, m.MaxDiaspora(src))
+	if _, ok := a.Grow(); ok {
+		t.Fatal("growing past the last zone must report !ok")
+	}
+}
+
+func TestNewAllotmentFromCores(t *testing.T) {
+	m, src := simPlatform(t)
+	// An incomplete allotment: the source plus two scattered cores.
+	a, err := NewAllotmentFromCores(m, src, []CoreID{21, 22, 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (dedup + implicit source)", a.Size())
+	}
+	if a.Diaspora() != 2 {
+		t.Fatalf("Diaspora = %d, want 2", a.Diaspora())
+	}
+	if _, err := NewAllotmentFromCores(m, src, []CoreID{0}); err == nil {
+		t.Error("expected error for reserved member")
+	}
+	if _, err := NewAllotmentFromCores(m, src, []CoreID{99}); err == nil {
+		t.Error("expected error for invalid member")
+	}
+}
+
+func TestZonePartition(t *testing.T) {
+	// Property: zones partition the members, and every member's ZoneOf
+	// equals its hop count from the source.
+	m, src := numaPlatform(t)
+	f := func(dRaw uint8) bool {
+		d := 1 + int(dRaw)%6
+		a, err := NewAllotment(m, src, d)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for k := 0; k <= a.Diaspora(); k++ {
+			for _, id := range a.Zone(k) {
+				if a.ZoneOf(id) != k {
+					return false
+				}
+				total++
+			}
+		}
+		return total == a.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiasporaForSize(t *testing.T) {
+	m, src := simPlatform(t)
+	d, a, ok := DiasporaForSize(m, src, 20)
+	if !ok || d != 3 || a.Size() != 20 {
+		t.Fatalf("DiasporaForSize(20) = (%d, %d, %v), want (3, 20, true)", d, a.Size(), ok)
+	}
+	d, a, ok = DiasporaForSize(m, src, 13)
+	if !ok || d != 3 || a.Size() != 20 {
+		t.Fatalf("DiasporaForSize(13) = (%d, %d, %v), want (3, 20, true)", d, a.Size(), ok)
+	}
+	_, a, ok = DiasporaForSize(m, src, 1000)
+	if ok {
+		t.Fatal("size 1000 cannot be satisfied on 30 usable cores")
+	}
+	if a.Size() != 30 {
+		t.Fatalf("fallback allotment size = %d, want 30", a.Size())
+	}
+}
+
+func TestZoneOfPanicsForNonMember(t *testing.T) {
+	m, src := simPlatform(t)
+	a, _ := NewAllotment(m, src, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ZoneOf(non-member)")
+		}
+	}()
+	a.ZoneOf(CoreID(7))
+}

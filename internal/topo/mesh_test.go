@@ -1,0 +1,197 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMeshDims(t *testing.T) {
+	cases := []struct {
+		dims    []int
+		cores   int
+		wantErr bool
+	}{
+		{[]int{8}, 8, false},
+		{[]int{8, 4}, 32, false},
+		{[]int{8, 6}, 48, false},
+		{[]int{4, 4, 4}, 64, false},
+		{[]int{}, 0, true},
+		{[]int{1, 2, 3, 4}, 0, true},
+		{[]int{0, 4}, 0, true},
+		{[]int{4, -1}, 0, true},
+	}
+	for _, c := range cases {
+		m, err := NewMesh(c.dims...)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("NewMesh(%v): expected error", c.dims)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("NewMesh(%v): %v", c.dims, err)
+		}
+		if m.NumCores() != c.cores {
+			t.Errorf("NewMesh(%v).NumCores() = %d, want %d", c.dims, m.NumCores(), c.cores)
+		}
+	}
+}
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	m := MustMesh(8, 6)
+	for id := CoreID(0); int(id) < m.NumCores(); id++ {
+		if got := m.ID(m.Coord(id)); got != id {
+			t.Fatalf("round trip failed for %d: got %d", id, got)
+		}
+	}
+}
+
+func TestCoordIDRoundTrip3D(t *testing.T) {
+	m := MustMesh(3, 4, 5)
+	for id := CoreID(0); int(id) < m.NumCores(); id++ {
+		if got := m.ID(m.Coord(id)); got != id {
+			t.Fatalf("round trip failed for %d: got %d", id, got)
+		}
+	}
+}
+
+func TestIDOutOfBounds(t *testing.T) {
+	m := MustMesh(8, 4)
+	for _, c := range []Coord{{X: -1}, {X: 8}, {Y: -1}, {Y: 4}, {Z: 1}, {X: 8, Y: 4}} {
+		if got := m.ID(c); got != NoCore {
+			t.Errorf("ID(%+v) = %d, want NoCore", c, got)
+		}
+	}
+}
+
+func TestRowMajorLayout(t *testing.T) {
+	// Paper Fig. 9(a): core 20 on the 8x4 mesh is at (4, 2).
+	m := MustMesh(8, 4)
+	if c := m.Coord(20); c != (Coord{X: 4, Y: 2}) {
+		t.Fatalf("core 20 = %+v, want (4,2)", c)
+	}
+	// Paper Fig. 9(b): core 28 on the 8x6 mesh is at (4, 3).
+	m = MustMesh(8, 6)
+	if c := m.Coord(28); c != (Coord{X: 4, Y: 3}) {
+		t.Fatalf("core 28 = %+v, want (4,3)", c)
+	}
+}
+
+func TestHopCountProperties(t *testing.T) {
+	m := MustMesh(8, 6)
+	n := CoreID(m.NumCores())
+	// Symmetry and identity.
+	f := func(ai, bi uint8) bool {
+		a, b := CoreID(ai)%n, CoreID(bi)%n
+		if m.HopCount(a, a) != 0 {
+			return false
+		}
+		return m.HopCount(a, b) == m.HopCount(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Triangle inequality.
+	g := func(ai, bi, ci uint8) bool {
+		a, b, c := CoreID(ai)%n, CoreID(bi)%n, CoreID(ci)%n
+		return m.HopCount(a, c) <= m.HopCount(a, b)+m.HopCount(b, c)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsNoWrap(t *testing.T) {
+	m := MustMesh(8, 4)
+	// Corner (0,0) has exactly 2 neighbours; no wrap-around.
+	nb := m.Neighbors(m.ID(Coord{X: 0, Y: 0}))
+	if len(nb) != 2 {
+		t.Fatalf("corner has %d neighbours, want 2: %v", len(nb), nb)
+	}
+	// Interior core has 4.
+	nb = m.Neighbors(m.ID(Coord{X: 4, Y: 2}))
+	if len(nb) != 4 {
+		t.Fatalf("interior core has %d neighbours, want 4: %v", len(nb), nb)
+	}
+	for _, n := range nb {
+		if m.HopCount(m.ID(Coord{X: 4, Y: 2}), n) != 1 {
+			t.Fatalf("neighbour %d not at distance 1", n)
+		}
+	}
+}
+
+func TestNeighbors3D(t *testing.T) {
+	m := MustMesh(3, 3, 3)
+	center := m.ID(Coord{X: 1, Y: 1, Z: 1})
+	if nb := m.Neighbors(center); len(nb) != 6 {
+		t.Fatalf("3D interior core has %d neighbours, want 6", len(nb))
+	}
+}
+
+func TestRingPartitionsWithinDistance(t *testing.T) {
+	m := MustMesh(8, 6)
+	center := CoreID(28)
+	total := 0
+	for d := 0; d <= 20; d++ {
+		total += len(m.Ring(center, d))
+	}
+	if total != m.NumCores() {
+		t.Fatalf("rings cover %d cores, want %d", total, m.NumCores())
+	}
+	// WithinDistance(d) = union of rings 0..d.
+	for d := 0; d <= 6; d++ {
+		want := 0
+		for k := 0; k <= d; k++ {
+			want += len(m.Ring(center, k))
+		}
+		if got := len(m.WithinDistance(center, d)); got != want {
+			t.Fatalf("WithinDistance(%d) = %d cores, want %d", d, got, want)
+		}
+	}
+}
+
+func TestReserve(t *testing.T) {
+	m := MustMesh(8, 4)
+	if m.Usable() != 32 {
+		t.Fatalf("Usable = %d, want 32", m.Usable())
+	}
+	m.Reserve(0, 1)
+	m.Reserve(1) // idempotent
+	if m.Usable() != 30 {
+		t.Fatalf("Usable = %d, want 30", m.Usable())
+	}
+	if !m.Reserved(0) || !m.Reserved(1) || m.Reserved(2) {
+		t.Fatal("reservation flags wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustMesh(4, 4)
+	c := m.Clone()
+	m.Reserve(3)
+	if c.Reserved(3) {
+		t.Fatal("clone shares reservation state")
+	}
+}
+
+func TestMaxDiaspora(t *testing.T) {
+	m := MustMesh(8, 4)
+	m.Reserve(0, 1)
+	// From (4,2), the farthest usable core: (0,0) is reserved; (7,0) gives
+	// 3+2=5; (0,1)=4+1=5; (0,3)=4+1=5.
+	if d := m.MaxDiaspora(20); d != 5 {
+		t.Fatalf("MaxDiaspora(20) = %d, want 5", d)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := MustMesh(8, 4)
+	m.Reserve(0, 1)
+	if s := m.String(); s != "mesh 8x4 (32 cores, 2 reserved)" {
+		t.Fatalf("String() = %q", s)
+	}
+	m1 := MustMesh(16)
+	if s := m1.String(); s != "mesh 16 (16 cores, 0 reserved)" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,118 @@
+// Package trace records the time series the paper's figures plot: the
+// allotment size over time (Figs. 5(c)/7(c)) and the per-quantum decisions
+// of the estimators.
+package trace
+
+import "fmt"
+
+// Point is one step of the allotment-size timeline.
+type Point struct {
+	// Time in cycles.
+	Time int64
+	// Workers is the allotment size from Time onward.
+	Workers int
+}
+
+// Timeline is a step function of the worker count over time.
+type Timeline struct {
+	points []Point
+}
+
+// Record appends a step. Time must be non-decreasing; recording the same
+// time overwrites the previous value (the last write wins within a cycle).
+func (tl *Timeline) Record(t int64, workers int) {
+	if n := len(tl.points); n > 0 {
+		if t < tl.points[n-1].Time {
+			panic(fmt.Sprintf("trace: time went backwards: %d < %d", t, tl.points[n-1].Time))
+		}
+		if t == tl.points[n-1].Time {
+			tl.points[n-1].Workers = workers
+			return
+		}
+		if tl.points[n-1].Workers == workers {
+			return // no change; keep the series minimal
+		}
+	}
+	tl.points = append(tl.points, Point{Time: t, Workers: workers})
+}
+
+// Points returns the recorded steps. The slice is shared; do not modify.
+func (tl *Timeline) Points() []Point { return tl.points }
+
+// At returns the worker count in effect at time t (0 before the first
+// record).
+func (tl *Timeline) At(t int64) int {
+	w := 0
+	for _, p := range tl.points {
+		if p.Time > t {
+			break
+		}
+		w = p.Workers
+	}
+	return w
+}
+
+// Max returns the peak worker count.
+func (tl *Timeline) Max() int {
+	max := 0
+	for _, p := range tl.points {
+		if p.Workers > max {
+			max = p.Workers
+		}
+	}
+	return max
+}
+
+// Area integrates the worker count from the first record until end: the
+// worker-cycle resource consumption that the accuracy criterion (paper §6)
+// trades off against execution time.
+func (tl *Timeline) Area(end int64) int64 {
+	var area int64
+	for i, p := range tl.points {
+		if p.Time >= end {
+			break
+		}
+		next := end
+		if i+1 < len(tl.points) && tl.points[i+1].Time < end {
+			next = tl.points[i+1].Time
+		}
+		area += int64(p.Workers) * (next - p.Time)
+	}
+	return area
+}
+
+// Decision is one estimator invocation at a quantum boundary.
+type Decision struct {
+	// Time of the quantum boundary, in cycles.
+	Time int64
+	// Estimator name ("palirria", "asteal").
+	Estimator string
+	// Desired is the (filtered) worker count the application requested.
+	Desired int
+	// Granted is the allotment size the system layer provided.
+	Granted int
+}
+
+// Log accumulates decisions.
+type Log struct {
+	decisions []Decision
+}
+
+// Add appends a decision.
+func (l *Log) Add(d Decision) { l.decisions = append(l.decisions, d) }
+
+// Decisions returns the recorded decisions. The slice is shared.
+func (l *Log) Decisions() []Decision { return l.decisions }
+
+// Changes counts the decisions whose grant differed from the previous one.
+func (l *Log) Changes() int {
+	n := 0
+	prev := -1
+	for _, d := range l.decisions {
+		if prev >= 0 && d.Granted != prev {
+			n++
+		}
+		prev = d.Granted
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineRecordAndAt(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 5)
+	tl.Record(100, 12)
+	tl.Record(250, 5)
+	cases := []struct {
+		t    int64
+		want int
+	}{
+		{-1, 0}, {0, 5}, {50, 5}, {100, 12}, {249, 12}, {250, 5}, {1000, 5},
+	}
+	for _, c := range cases {
+		if got := tl.At(c.t); got != c.want {
+			t.Errorf("At(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if tl.Max() != 12 {
+		t.Fatalf("Max = %d", tl.Max())
+	}
+}
+
+func TestTimelineDedup(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 5)
+	tl.Record(100, 5) // no change: not recorded
+	tl.Record(200, 7)
+	if got := len(tl.Points()); got != 2 {
+		t.Fatalf("points = %d, want 2 (dedup)", got)
+	}
+}
+
+func TestTimelineSameTimeOverwrites(t *testing.T) {
+	var tl Timeline
+	tl.Record(10, 5)
+	tl.Record(10, 9)
+	if got := len(tl.Points()); got != 1 {
+		t.Fatalf("points = %d, want 1", got)
+	}
+	if tl.At(10) != 9 {
+		t.Fatal("last write must win")
+	}
+}
+
+func TestTimelineBackwardsPanics(t *testing.T) {
+	var tl Timeline
+	tl.Record(10, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for backwards time")
+		}
+	}()
+	tl.Record(5, 6)
+}
+
+func TestTimelineArea(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 5)
+	tl.Record(100, 10)
+	tl.Record(200, 2)
+	// Area to 300: 5*100 + 10*100 + 2*100 = 1700.
+	if got := tl.Area(300); got != 1700 {
+		t.Fatalf("Area(300) = %d, want 1700", got)
+	}
+	// Truncated integral.
+	if got := tl.Area(150); got != 5*100+10*50 {
+		t.Fatalf("Area(150) = %d", got)
+	}
+	// End before first point: zero.
+	if got := tl.Area(0); got != 0 {
+		t.Fatalf("Area(0) = %d", got)
+	}
+}
+
+func TestTimelineAreaMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var tl Timeline
+		t0 := int64(0)
+		for _, v := range raw {
+			tl.Record(t0, int(v%30)+1)
+			t0 += int64(v%50) + 1
+		}
+		// Area is monotonically non-decreasing in the end time.
+		return tl.Area(t0) >= tl.Area(t0/2) && tl.Area(t0/2) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDecisionsAndChanges(t *testing.T) {
+	var l Log
+	if l.Changes() != 0 {
+		t.Fatal("empty log has changes")
+	}
+	l.Add(Decision{Time: 1, Estimator: "palirria", Desired: 12, Granted: 12})
+	l.Add(Decision{Time: 2, Estimator: "palirria", Desired: 12, Granted: 12})
+	l.Add(Decision{Time: 3, Estimator: "palirria", Desired: 20, Granted: 20})
+	l.Add(Decision{Time: 4, Estimator: "palirria", Desired: 5, Granted: 5})
+	if got := len(l.Decisions()); got != 4 {
+		t.Fatalf("decisions = %d", got)
+	}
+	if got := l.Changes(); got != 2 {
+		t.Fatalf("changes = %d, want 2", got)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var tl Timeline
+	if tl.At(100) != 0 || tl.Max() != 0 || tl.Area(100) != 0 {
+		t.Fatal("empty timeline must be all zeros")
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+
+	"palirria/internal/task"
+)
+
+// SparseLU models BOTS SparseLU factorization: a wavefront of phases over
+// an N x N blocked matrix. Phase k factors the diagonal block serially,
+// then updates the remaining (N-k-1)^2 trailing blocks in parallel (only a
+// deterministic subset is non-empty — the matrix is sparse). Parallelism
+// therefore *shrinks* phase by phase: wide at the start, serial at the
+// end — the reverse of Bursty and a classic adaptive-shrink stressor.
+// Input fields: N = blocks per side, Grain = work per block element,
+// Extra[0] = block dimension, Extra[1] = sparsity permille (non-empty
+// blocks).
+var SparseLU = register(&Def{
+	Name:            "sparselu",
+	Profile:         "wavefront phases with shrinking parallelism; sparse irregular updates",
+	PaperInputSim:   "(extension; BOTS sparselu)",
+	PaperInputLinux: "(extension; BOTS sparselu)",
+	Build:           buildSparseLU,
+	Inputs: map[Platform]Input{
+		Simulator: {N: 10, Grain: 1, Extra: []int64{32, 600}, Seed: 31},
+		NUMA:      {N: 12, Grain: 1, Extra: []int64{32, 600}, Seed: 32},
+	},
+})
+
+func buildSparseLU(in Input) *task.Spec {
+	bs, sparsity := int64(32), int64(600)
+	if len(in.Extra) > 0 {
+		bs = in.Extra[0]
+	}
+	if len(in.Extra) > 1 {
+		sparsity = in.Extra[1]
+	}
+	return sparseLUPhase(in, 0, bs, sparsity)
+}
+
+// sparseLUPhase is one wavefront step: factor the diagonal, update the
+// trailing submatrix in parallel, then recurse into the next phase.
+func sparseLUPhase(in Input, k int64, bs, sparsity int64) *task.Spec {
+	n := in.N
+	if k >= n-1 {
+		// Final diagonal block.
+		return task.Leaf("lu-final", in.Grain*bs*bs)
+	}
+	blockWork := in.Grain * bs * bs
+	var updates []task.Builder
+	for i := k + 1; i < n; i++ {
+		for j := k + 1; j < n; j++ {
+			h := shapeHash(in.Seed, (uint64(k)<<40)^(uint64(i)<<20)^uint64(j))
+			if int64(h%1000) >= sparsity {
+				continue // empty block: sparse matrix
+			}
+			updates = append(updates, func() *task.Spec {
+				s := task.Leaf("lu-update", blockWork)
+				s.Footprint = bs * bs * 8
+				s.MemBound = 0.1
+				return s
+			})
+		}
+	}
+	ops := make([]task.Op, 0, len(updates)*2+4)
+	// Serial diagonal factorization plus the row/column panels.
+	ops = append(ops, task.Compute(blockWork*2))
+	// Parallel trailing updates via a nested fan so work flows outward.
+	ops = append(ops, task.Call(func() *task.Spec {
+		return fanOf(fmt.Sprintf("lu-phase %d", k), updates)
+	}))
+	// Next wavefront phase.
+	ops = append(ops, task.Call(func() *task.Spec {
+		return sparseLUPhase(in, k+1, bs, sparsity)
+	}))
+	return &task.Spec{Label: fmt.Sprintf("sparselu %d", k), Ops: ops}
+}
+
+// fanOf runs the builders as a balanced nested fork/join tree.
+func fanOf(label string, children []task.Builder) *task.Spec {
+	switch len(children) {
+	case 0:
+		return task.Leaf(label+"-empty", 1)
+	case 1:
+		return children[0]()
+	}
+	mid := len(children) / 2
+	left, right := children[:mid], children[mid:]
+	return &task.Spec{
+		Label: label,
+		Ops: []task.Op{
+			task.Spawn(func() *task.Spec { return fanOf(label, left) }),
+			task.Call(func() *task.Spec { return fanOf(label, right) }),
+			task.Sync(),
+		},
+	}
+}
+
+// Alignment models BOTS Protein Alignment: all-pairs sequence comparisons,
+// embarrassingly parallel with coarse, uneven task sizes (pair cost is the
+// product of the two sequence lengths). A contrast case: huge parallelism
+// that any estimator should saturate quickly, with imbalance entirely at
+// the leaf level. Input fields: N = sequences, Grain = work per length
+// product unit, Seed = length jitter.
+var Alignment = register(&Def{
+	Name:            "alignment",
+	Profile:         "all-pairs comparisons: embarrassingly parallel, coarse uneven leaves",
+	PaperInputSim:   "(extension; BOTS alignment)",
+	PaperInputLinux: "(extension; BOTS alignment)",
+	Build:           buildAlignment,
+	Inputs: map[Platform]Input{
+		Simulator: {N: 48, Grain: 2, Seed: 71},
+		NUMA:      {N: 64, Grain: 2, Seed: 72},
+	},
+})
+
+func buildAlignment(in Input) *task.Spec {
+	n := int(in.N)
+	// Deterministic sequence lengths in [20, 120).
+	length := func(i int) int64 {
+		return 20 + int64(shapeHash(in.Seed, uint64(i))%100)
+	}
+	var pairs []task.Builder
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			li, lj := length(i), length(j)
+			pairs = append(pairs, func() *task.Spec {
+				s := task.Leaf("align-pair", in.Grain*li*lj)
+				s.Footprint = (li + lj) * 8
+				return s
+			})
+		}
+	}
+	return fanOf("alignment", pairs)
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+
+	"palirria/internal/task"
+)
+
+// Memory-boundedness of the cache-thrashing workloads on the NUMA machine
+// model (no effect on the ideal simulator platform). Sort's merges stream
+// through memory and saturate the controllers — the paper's Sort shows no
+// speedup whatsoever between 5 and 45 workers on the Opteron — while FFT
+// retains enough arithmetic per byte to scale to about a third of its
+// 5-worker time.
+const (
+	fftMemBound  = 0.05
+	sortMemBound = 0.85
+)
+
+// FFT models the BOTS Cooley-Tukey FFT: binary recursion on the input
+// vector down to a leaf size, followed after each sync by a parallel
+// twiddle/combine phase over the merged halves. Large footprints make it
+// cache-thrashing on the NUMA model. Input fields: N = vector length
+// (power of two), Cutoff = leaf length, Grain = work per element unit.
+var FFT = register(&Def{
+	Name:            "fft",
+	Profile:         "thrashes the caches; divide-and-conquer with parallel combine phases",
+	PaperInputSim:   "input 32*1024*512",
+	PaperInputLinux: "input 32*1024*1024",
+	Build:           buildFFT,
+	Inputs: map[Platform]Input{
+		// The simulator input is fine grained (grain 1, small leaves): on
+		// the paper's ideal 1-cycle machine FFT is overhead-bound and
+		// barely scales (Fig. 5: 99/98/81% at 12/20/27 workers).
+		Simulator: {N: 64 * 1024, Cutoff: 512, Grain: 1},
+		NUMA:      {N: 128 * 1024, Cutoff: 2048, Grain: 3},
+	},
+})
+
+func buildFFT(in Input) *task.Spec {
+	return fftSpec(in.N, in.Cutoff, in.Grain)
+}
+
+func fftSpec(n, cutoff, grain int64) *task.Spec {
+	if n <= cutoff {
+		// Sequential FFT of a leaf: c * n * log2(n).
+		s := task.Leaf(fmt.Sprintf("fft-leaf %d", n), grain*n*log2int(n))
+		s.Footprint = n * 16
+		s.MemBound = fftMemBound
+		return s
+	}
+	half := n / 2
+	ops := []task.Op{
+		task.Spawn(func() *task.Spec { return fftSpec(half, cutoff, grain) }),
+		task.Spawn(func() *task.Spec { return fftSpec(half, cutoff, grain) }),
+		task.Sync(),
+		task.Sync(),
+	}
+	// Twiddle/combine phase: n work split into parallel chunks of cutoff
+	// elements each; this is where FFT's burst parallelism comes from.
+	chunks := n / cutoff
+	for i := int64(0); i < chunks; i++ {
+		ops = append(ops, task.Spawn(func() *task.Spec {
+			s := task.Leaf("fft-twiddle", grain*cutoff)
+			s.Footprint = cutoff * 16
+			s.MemBound = fftMemBound
+			return s
+		}))
+	}
+	for i := int64(0); i < chunks; i++ {
+		ops = append(ops, task.Sync())
+	}
+	return &task.Spec{
+		Label:     fmt.Sprintf("fft %d", n),
+		Footprint: n * 16,
+		MemBound:  fftMemBound,
+		Ops:       ops,
+	}
+}
+
+// Sort models BOTS Sort (cilksort): split into four quarters, sort each
+// recursively (sequential below the cut-off), then merge pairs with a
+// recursive parallel merge. The result is the profile the paper analyses:
+// a sequence of sections of varying parallelism, each section starting at
+// the source worker and syncing back before the next begins. Input fields:
+// N = elements, Cutoff = sequential sort size, Extra[0] = sequential merge
+// size, Grain = per-element work unit.
+var Sort = register(&Def{
+	Name:            "sort",
+	Profile:         "irregular, cache-thrashing; sections of varying parallelism re-spawned from the source",
+	PaperInputSim:   "input 32*1024*1024, cut-off (2*1024),20",
+	PaperInputLinux: "input 32*1024*1024, cut-off (2*1024),20",
+	Build:           buildSort,
+	Inputs: map[Platform]Input{
+		// Fine grained on the simulator for the same reason as FFT: the
+		// paper's Sort scales to only 68% of the 5-worker time at 27
+		// workers on the ideal machine.
+		Simulator: {N: 128 * 1024, Cutoff: 1024, Grain: 1, Extra: []int64{4 * 1024}},
+		NUMA:      {N: 256 * 1024, Cutoff: 2 * 1024, Grain: 2, Extra: []int64{8 * 1024}},
+	},
+})
+
+func buildSort(in Input) *task.Spec {
+	mergeCut := int64(8 * 1024)
+	if len(in.Extra) > 0 {
+		mergeCut = in.Extra[0]
+	}
+	return sortSpec(in.N, in.Cutoff, mergeCut, in.Grain)
+}
+
+func sortSpec(n, cutoff, mergeCut, grain int64) *task.Spec {
+	if n <= cutoff {
+		// Sequential quicksort of a leaf: c * n * log2(n).
+		s := task.Leaf(fmt.Sprintf("sort-leaf %d", n), grain*n*log2int(n))
+		s.Footprint = n * 8
+		s.MemBound = sortMemBound
+		return s
+	}
+	q := n / 4
+	ops := make([]task.Op, 0, 16)
+	// Section 1: sort the four quarters — a quick burst of parallelism.
+	for i := 0; i < 4; i++ {
+		ops = append(ops, task.Spawn(func() *task.Spec {
+			return sortSpec(q, cutoff, mergeCut, grain)
+		}))
+	}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, task.Sync())
+	}
+	// Section 2: merge quarter pairs in parallel (two merges of n/2 output).
+	for i := 0; i < 2; i++ {
+		ops = append(ops, task.Spawn(func() *task.Spec {
+			return mergeSpec(n/2, mergeCut, grain)
+		}))
+	}
+	ops = append(ops, task.Sync(), task.Sync())
+	// Section 3: the final merge of the two halves — narrow parallelism.
+	ops = append(ops, task.Call(func() *task.Spec {
+		return mergeSpec(n, mergeCut, grain)
+	}))
+	return &task.Spec{
+		Label:     fmt.Sprintf("sort %d", n),
+		Footprint: n * 8,
+		MemBound:  sortMemBound,
+		Ops:       ops,
+	}
+}
+
+// mergeSpec is the recursive parallel merge: split the output range in two
+// around a binary-search pivot, merge halves in parallel, sequential below
+// the merge cut-off.
+func mergeSpec(n, mergeCut, grain int64) *task.Spec {
+	if n <= mergeCut {
+		s := task.Leaf(fmt.Sprintf("merge-leaf %d", n), grain*n)
+		s.Footprint = n * 8
+		s.MemBound = sortMemBound
+		return s
+	}
+	half := n / 2
+	return &task.Spec{
+		Label:     fmt.Sprintf("merge %d", n),
+		Footprint: n * 8,
+		MemBound:  sortMemBound,
+		Ops: []task.Op{
+			// The binary search that finds the split point.
+			task.Compute(grain * log2int(n) * 4),
+			task.Spawn(func() *task.Spec { return mergeSpec(half, mergeCut, grain) }),
+			task.Call(func() *task.Spec { return mergeSpec(n-half, mergeCut, grain) }),
+			task.Sync(),
+		},
+	}
+}

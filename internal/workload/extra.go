@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+
+	"palirria/internal/task"
+)
+
+// UTS is the Unbalanced Tree Search benchmark (Olivier et al.), the
+// standard stress test for dynamic load balancing beyond the paper's
+// suite: a tree whose shape is determined by per-node hashes, so the
+// imbalance cannot be predicted from the parameters. Binomial variant:
+// the root has N children; every other node has Extra[0] children with
+// probability Extra[1]/1000, none otherwise. Grain is per-node work.
+var UTS = register(&Def{
+	Name:            "uts",
+	Profile:         "unbalanced tree search: unpredictable imbalance, stresses dynamic load balancing",
+	PaperInputSim:   "(extension; Olivier et al. 2006)",
+	PaperInputLinux: "(extension; Olivier et al. 2006)",
+	Build:           buildUTS,
+	Inputs: map[Platform]Input{
+		// m=8, q=0.114: subcritical (m*q < 1), expected subtree size
+		// 1/(1-mq) ~ 11.4 nodes but with heavy tails.
+		Simulator: {N: 320, Grain: 600, Extra: []int64{8, 114}, Seed: 577},
+		NUMA:      {N: 640, Grain: 600, Extra: []int64{8, 114}, Seed: 578},
+	},
+})
+
+func buildUTS(in Input) *task.Spec {
+	m, qm := int64(8), int64(114)
+	if len(in.Extra) > 0 {
+		m = in.Extra[0]
+	}
+	if len(in.Extra) > 1 {
+		qm = in.Extra[1]
+	}
+	children := make([]task.Builder, in.N)
+	for i := int64(0); i < in.N; i++ {
+		cp := childPath(0, int(i))
+		children[i] = func() *task.Spec { return utsNode(in, cp, m, qm, 0) }
+	}
+	return task.SpawnJoin("uts-root", in.Grain, children, 0, in.Grain)
+}
+
+// utsNode expands one interior node: hash decides whether it roots a
+// further m-way subtree or terminates. A depth bound guards against the
+// (astronomically unlikely, but simulation-budget-relevant) runaway tail.
+func utsNode(in Input, path uint64, m, qm int64, depth int) *task.Spec {
+	h := shapeHash(in.Seed, path)
+	work := varyGrain(in.Grain, h>>32, 4)
+	if depth >= 40 || int64(h%1000) >= qm {
+		s := task.Leaf("uts-leaf", work)
+		s.Footprint = 128
+		return s
+	}
+	children := make([]task.Builder, m)
+	for i := int64(0); i < m; i++ {
+		cp := childPath(path, int(i))
+		children[i] = func() *task.Spec { return utsNode(in, cp, m, qm, depth+1) }
+	}
+	s := task.SpawnJoin(fmt.Sprintf("uts d%d", depth), work, children, 0, 0)
+	s.Footprint = 128
+	return s
+}
+
+// Matmul is blocked recursive matrix multiplication (the Cilk matmul
+// shape): C quadrants computed by eight recursive multiplies in two
+// parallel waves of four, sequential below the block cut-off. A regular,
+// cache-friendly contrast to Strassen's irregular seven-way recursion.
+// Input fields: N = matrix dimension, Cutoff = block size, Grain = work
+// per block element.
+var Matmul = register(&Def{
+	Name:            "matmul",
+	Profile:         "regular divide-and-conquer, coarse blocks, two synchronization waves per level",
+	PaperInputSim:   "(extension)",
+	PaperInputLinux: "(extension)",
+	Build:           buildMatmul,
+	Inputs: map[Platform]Input{
+		Simulator: {N: 512, Cutoff: 64, Grain: 1},
+		NUMA:      {N: 512, Cutoff: 32, Grain: 1},
+	},
+})
+
+func buildMatmul(in Input) *task.Spec {
+	return matmulSpec(in.N, in.Cutoff, in.Grain)
+}
+
+func matmulSpec(n, cutoff, grain int64) *task.Spec {
+	if n <= cutoff {
+		// Sequential block multiply: n^3 work over n^2 elements.
+		s := task.Leaf(fmt.Sprintf("matmul-leaf %d", n), grain*n*n*n/16)
+		s.Footprint = 3 * n * n * 8
+		s.MemBound = 0.1
+		return s
+	}
+	half := n / 2
+	child := func() *task.Spec { return matmulSpec(half, cutoff, grain) }
+	ops := make([]task.Op, 0, 18)
+	// Wave 1: C11 += A11*B11, C12 += A11*B12, C21 += A21*B11, C22 += A21*B12.
+	for i := 0; i < 4; i++ {
+		ops = append(ops, task.Spawn(child))
+	}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, task.Sync())
+	}
+	// Wave 2: the other four products accumulate into the same quadrants,
+	// hence the barrier between waves.
+	for i := 0; i < 4; i++ {
+		ops = append(ops, task.Spawn(child))
+	}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, task.Sync())
+	}
+	return &task.Spec{
+		Label:     fmt.Sprintf("matmul %d", n),
+		Footprint: 3 * n * n * 8,
+		MemBound:  0.1,
+		Ops:       ops,
+	}
+}

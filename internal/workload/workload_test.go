@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"testing"
+
+	"palirria/internal/task"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"alignment", "bursty", "fft", "fib", "loopy", "matmul", "nqueens", "skew", "sort", "sparselu", "strassen", "stress", "uts"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	d, err := Get("fib")
+	if err != nil || d.Name != "fib" {
+		t.Fatalf("Get(fib) = (%v, %v)", d, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestPaperSetOrder(t *testing.T) {
+	set := PaperSet()
+	want := []string{"fft", "fib", "nqueens", "skew", "sort", "strassen", "stress"}
+	if len(set) != len(want) {
+		t.Fatalf("PaperSet has %d entries", len(set))
+	}
+	for i, d := range set {
+		if d == nil || d.Name != want[i] {
+			t.Fatalf("PaperSet[%d] = %v, want %s", i, d, want[i])
+		}
+	}
+}
+
+// TestAllWorkloadsValid expands every workload on both platforms, checking
+// structural validity and computing tree statistics.
+func TestAllWorkloadsValid(t *testing.T) {
+	for _, name := range Names() {
+		d, _ := Get(name)
+		for _, p := range []Platform{Simulator, NUMA} {
+			t.Run(name+"/"+p.String(), func(t *testing.T) {
+				root := d.Root(p)
+				st, err := task.Measure(root)
+				if err != nil {
+					t.Fatalf("invalid tree: %v", err)
+				}
+				if st.Work <= 0 || st.Span <= 0 || st.Tasks < 1 {
+					t.Fatalf("degenerate stats %+v", st)
+				}
+				t.Logf("%s/%s: tasks=%d spawns=%d work=%d span=%d par=%.1f",
+					name, p, st.Tasks, st.Spawns, st.Work, st.Span, st.Parallelism())
+			})
+		}
+	}
+}
+
+// TestWorkloadDeterminism re-expands each tree and compares statistics:
+// builders must be pure functions of their parameters.
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		d, _ := Get(name)
+		a, err := task.Measure(d.Root(Simulator))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := task.Measure(d.Root(Simulator))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s: non-deterministic stats %+v vs %+v", name, a, b)
+		}
+	}
+}
+
+// TestParallelismProfiles checks that each workload's average parallelism
+// matches the qualitative profile the paper assigns it. The 32-core
+// platform has at most 27 workers, so "highly parallel" means parallelism
+// well above that, and "limited" means close to or below it.
+func TestParallelismProfiles(t *testing.T) {
+	par := func(name string) float64 {
+		d, _ := Get(name)
+		st, err := task.Measure(d.Root(Simulator))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Parallelism()
+	}
+	if p := par("fib"); p < 100 {
+		t.Errorf("fib parallelism = %.1f, want >> 27 (embarrassingly parallel)", p)
+	}
+	if p := par("nqueens"); p < 100 {
+		t.Errorf("nqueens parallelism = %.1f, want >> 27 (highly parallel)", p)
+	}
+	if p := par("strassen"); p > 60 {
+		t.Errorf("strassen parallelism = %.1f, want small (just enough for a few workers)", p)
+	}
+	if p := par("loopy"); p > 3 {
+		t.Errorf("loopy parallelism = %.1f, want <= ~2 (serial chain)", p)
+	}
+	if p := par("stress"); p < 50 {
+		t.Errorf("stress parallelism = %.1f, want large", p)
+	}
+	// Skew must be markedly less parallel than stress (unbalanced).
+	if ps, pk := par("stress"), par("skew"); pk >= ps {
+		t.Errorf("skew parallelism %.1f not below stress %.1f", pk, ps)
+	}
+}
+
+// TestSkewIsUnbalanced verifies the skew tree really is skewed: the span is
+// a large fraction of a balanced tree's depth-scaled work.
+func TestSkewIsUnbalanced(t *testing.T) {
+	d, _ := Get("skew")
+	st, err := task.Measure(d.Root(Simulator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, _ := Get("stress")
+	bt, err := task.Measure(dd.Root(Simulator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized span (span/work) of skew must exceed stress's by a wide
+	// margin: imbalance concentrates the critical path.
+	skewRatio := float64(st.Span) / float64(st.Work)
+	stressRatio := float64(bt.Span) / float64(bt.Work)
+	if skewRatio < 2*stressRatio {
+		t.Fatalf("skew span ratio %.4f not >> stress %.4f", skewRatio, stressRatio)
+	}
+}
+
+// TestLoopyQueueShape: every non-leaf loopy task spawns exactly one
+// stealable task before continuing serially.
+func TestLoopyQueueShape(t *testing.T) {
+	d, _ := Get("loopy")
+	root := d.Root(Simulator)
+	spawns := 0
+	for _, op := range root.Ops {
+		if op.Kind == task.OpSpawn {
+			spawns++
+		}
+	}
+	if spawns != 1 {
+		t.Fatalf("loopy link spawns %d tasks, want exactly 1", spawns)
+	}
+}
+
+// TestStrassenGradualSpawning: spawns are interleaved with compute ops, not
+// emitted back to back.
+func TestStrassenGradualSpawning(t *testing.T) {
+	d, _ := Get("strassen")
+	root := d.Root(Simulator)
+	prevWasSpawn := false
+	consecutive := 0
+	for _, op := range root.Ops {
+		if op.Kind == task.OpSpawn {
+			if prevWasSpawn {
+				consecutive++
+			}
+			prevWasSpawn = true
+		} else {
+			prevWasSpawn = false
+		}
+	}
+	if consecutive != 0 {
+		t.Fatalf("%d back-to-back spawns; strassen must spawn gradually", consecutive)
+	}
+}
+
+// TestFootprints: the cache-thrashing workloads carry large footprints, the
+// micro-benchmarks small ones — the NUMA model depends on this contrast.
+func TestFootprints(t *testing.T) {
+	big := []string{"fft", "sort", "strassen"}
+	small := []string{"fib", "stress", "skew"}
+	for _, n := range big {
+		d, _ := Get(n)
+		if fp := d.Root(Simulator).Footprint; fp < 64*1024 {
+			t.Errorf("%s root footprint = %d, want large (cache-thrashing)", n, fp)
+		}
+	}
+	for _, n := range small {
+		d, _ := Get(n)
+		if fp := d.Root(Simulator).Footprint; fp > 4096 {
+			t.Errorf("%s root footprint = %d, want small", n, fp)
+		}
+	}
+}
+
+// TestTaskCounts keeps tree sizes inside the budget the simulator needs:
+// enough tasks to exercise stealing, few enough to simulate quickly.
+func TestTaskCounts(t *testing.T) {
+	bounds := map[string][2]int64{
+		"fib":       {50000, 500000},
+		"nqueens":   {500, 20000},
+		"fft":       {200, 20000},
+		"sort":      {200, 20000},
+		"strassen":  {50, 3000},
+		"stress":    {5000, 50000},
+		"skew":      {500, 100000},
+		"loopy":     {4000, 50000},
+		"bursty":    {500, 10000},
+		"uts":       {500, 100000},
+		"matmul":    {500, 10000},
+		"sparselu":  {100, 20000},
+		"alignment": {1000, 20000},
+	}
+	for name, b := range bounds {
+		d, _ := Get(name)
+		st, err := task.Measure(d.Root(Simulator))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tasks < b[0] || st.Tasks > b[1] {
+			t.Errorf("%s: %d tasks outside [%d, %d]", name, st.Tasks, b[0], b[1])
+		}
+	}
+}
+
+func TestInputString(t *testing.T) {
+	in := Input{N: 5, Cutoff: 2, Grain: 10, Extra: []int64{7}}
+	if s := in.String(); s != "n=5 cutoff=2 grain=10 x0=7" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := (Input{N: 3}).String(); s != "n=3" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if Simulator.String() != "barrelfish-sim" || NUMA.String() != "linux-numa" {
+		t.Fatal("platform names wrong")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	register(&Def{Name: "fib"})
+}
+
+// TestUTSIsUnbalanced: UTS subtree sizes under the root must vary by an
+// order of magnitude — the benchmark's defining property.
+func TestUTSIsUnbalanced(t *testing.T) {
+	d, _ := Get("uts")
+	in := d.Inputs[Simulator]
+	min, max := int64(1<<62), int64(0)
+	for i := int64(0); i < in.N; i++ {
+		cp := childPath(0, int(i))
+		st, err := task.Measure(utsNode(in, cp, 8, 114, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Tasks < min {
+			min = st.Tasks
+		}
+		if st.Tasks > max {
+			max = st.Tasks
+		}
+	}
+	if max < 10*min {
+		t.Fatalf("uts subtrees too uniform: min %d, max %d", min, max)
+	}
+}
+
+// TestMatmulWaveStructure: two spawn waves separated by a full barrier.
+func TestMatmulWaveStructure(t *testing.T) {
+	d, _ := Get("matmul")
+	root := d.Root(Simulator)
+	kinds := make([]task.OpKind, len(root.Ops))
+	for i, op := range root.Ops {
+		kinds[i] = op.Kind
+	}
+	want := []task.OpKind{
+		task.OpSpawn, task.OpSpawn, task.OpSpawn, task.OpSpawn,
+		task.OpSync, task.OpSync, task.OpSync, task.OpSync,
+		task.OpSpawn, task.OpSpawn, task.OpSpawn, task.OpSpawn,
+		task.OpSync, task.OpSync, task.OpSync, task.OpSync,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("op %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+// TestExtensionsRunOnSimulator: the extension workloads complete under
+// Palirria (smoke test shared with the paper set).
+func TestExtensionsCountsStable(t *testing.T) {
+	// Determinism of the hash-shaped UTS tree: equal stats across builds.
+	d, _ := Get("uts")
+	a, err := task.Measure(d.Root(Simulator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := task.Measure(d.Root(Simulator))
+	if a != b {
+		t.Fatalf("uts not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSparseLUShrinkingParallelism: early phases are much wider than late
+// ones (the wavefront shrinks).
+func TestSparseLUShrinkingParallelism(t *testing.T) {
+	d, _ := Get("sparselu")
+	in := d.Inputs[Simulator]
+	countUpdates := func(k int64) int {
+		n := 0
+		for i := k + 1; i < in.N; i++ {
+			for j := k + 1; j < in.N; j++ {
+				h := shapeHash(in.Seed, (uint64(k)<<40)^(uint64(i)<<20)^uint64(j))
+				if int64(h%1000) < in.Extra[1] {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	first, last := countUpdates(0), countUpdates(in.N-3)
+	if first < 5*last {
+		t.Fatalf("wavefront not shrinking: phase0=%d, late=%d", first, last)
+	}
+}
+
+// TestAlignmentPairCount: n*(n-1)/2 leaf tasks.
+func TestAlignmentPairCount(t *testing.T) {
+	d, _ := Get("alignment")
+	st, err := task.Measure(d.Root(Simulator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(d.Inputs[Simulator].N)
+	pairs := n * (n - 1) / 2
+	// Leaves = pairs; internal fan nodes add pairs-1.
+	if st.Tasks != 2*pairs-1 {
+		t.Fatalf("tasks = %d, want %d", st.Tasks, 2*pairs-1)
+	}
+}

@@ -1,0 +1,24 @@
+//go:build linux
+
+package wsrt
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity pins the calling OS thread to the given CPU, best effort:
+// the paper pins worker threads with pthread affinity; we do the same via
+// sched_setaffinity when the core exists on the host. Errors are ignored —
+// on hosts with fewer CPUs than the virtual mesh the worker simply floats.
+func setAffinity(cpu int) {
+	if cpu < 0 || cpu >= runtime.NumCPU() {
+		return
+	}
+	var mask [16]uint64 // 1024 CPUs
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	// sched_setaffinity(0 /* this thread */, len, &mask)
+	_, _, _ = syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+}

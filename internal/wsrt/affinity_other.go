@@ -1,0 +1,7 @@
+//go:build !linux
+
+package wsrt
+
+// setAffinity is a no-op on platforms without sched_setaffinity; workers
+// are still locked to OS threads when Config.Pin is set.
+func setAffinity(cpu int) {}

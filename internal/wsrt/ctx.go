@@ -1,0 +1,142 @@
+package wsrt
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"palirria/internal/task"
+)
+
+// rtTask is one spawned task record: the unit placed in deques and joined
+// at syncs.
+type rtTask struct {
+	fn     Func
+	done   atomic.Bool
+	isRoot bool
+}
+
+// Ctx is the per-task execution context: WOOL's programming interface.
+// A Ctx is owned by exactly one worker at a time and must not escape the
+// task body or be shared between goroutines.
+type Ctx struct {
+	w *worker
+	// pending holds the outstanding spawns of this task, youngest last.
+	pending []*rtTask
+}
+
+// Worker returns the executing worker's core id (for diagnostics).
+func (c *Ctx) Worker() int { return int(c.w.id) }
+
+// Spawn places fn in the task queue as a stealable task, continuing the
+// current task (work-first). When the queue is full the child executes
+// inline immediately, like WOOL.
+func (c *Ctx) Spawn(fn Func) {
+	t := &rtTask{fn: fn}
+	if c.w.deque.PushBottom(t) {
+		if n := int32(c.w.deque.Len()); n > c.w.hwm.Load() {
+			c.w.hwm.Store(n)
+		}
+	} else {
+		c.w.runTask(t)
+	}
+	c.pending = append(c.pending, t)
+}
+
+// Sync joins the youngest outstanding spawn: if it was not stolen it is
+// popped and executed inline; if a thief has it, the worker steals other
+// work while waiting (leapfrogging).
+func (c *Ctx) Sync() {
+	if len(c.pending) == 0 {
+		return
+	}
+	t := c.pending[len(c.pending)-1]
+	c.pending = c.pending[:len(c.pending)-1]
+	if t.done.Load() {
+		return
+	}
+	// Conditional pop: only if our child is still the bottom element.
+	if c.w.deque.BottomIs(t) {
+		if got, ok := c.w.deque.PopBottom(); ok {
+			if got == t {
+				c.w.runTask(t)
+				return
+			}
+			// A thief raced us past t; got is an older task that must go
+			// back — impossible under the LIFO invariant, because anything
+			// below t was pushed before t and t is the youngest unjoined
+			// spawn of the innermost frame.
+			panic("wsrt: queue bottom was not the youngest spawn")
+		}
+	}
+	// Stolen: leapfrog until the thief finishes it.
+	spins := 0
+	for !t.done.Load() {
+		if c.w.state.Load() == stateDraining || !c.w.stealOnce() {
+			spins++
+			if spins < 32 {
+				runtime.Gosched()
+			} else {
+				t0 := nowNS()
+				time.Sleep(5 * time.Microsecond)
+				atomic.AddInt64(&c.w.stats.SearchNS, nowNS()-t0)
+			}
+		} else {
+			spins = 0
+		}
+	}
+}
+
+// SyncAll joins every outstanding spawn (youngest first).
+func (c *Ctx) SyncAll() {
+	for len(c.pending) > 0 {
+		c.Sync()
+	}
+}
+
+// joinAll is the implicit barrier at task end.
+func (c *Ctx) joinAll() { c.SyncAll() }
+
+// computeUnit is the calibrated spin kernel: a xorshift step that the
+// compiler cannot elide, approximating one abstract "cycle" of the task
+// model. Exported knobs are unnecessary — workload shapes, not absolute
+// times, are what the estimators observe.
+var computeSink uint64
+
+// Compute burns approximately `cycles` units of CPU work. It is the
+// real-runtime realization of task.OpCompute.
+func (c *Ctx) Compute(cycles int64) {
+	x := uint64(cycles) | 1
+	for i := int64(0); i < cycles; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	atomic.AddUint64(&computeSink, x&1)
+}
+
+// SpecFunc adapts a lazily generated task tree (the shared workload
+// representation) to the real runtime: Compute spins, Spawn/Call/Sync map
+// directly onto the Ctx operations.
+func SpecFunc(s *task.Spec) Func {
+	return func(c *Ctx) {
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case task.OpCompute:
+				c.Compute(op.Work)
+			case task.OpSpawn:
+				child := op.Gen()
+				c.Spawn(SpecFunc(child))
+			case task.OpCall:
+				// A call gets its own frame scope: its spawns join inside
+				// it, never leaking into the parent's pending list.
+				child := op.Gen()
+				sub := &Ctx{w: c.w}
+				SpecFunc(child)(sub)
+				sub.joinAll()
+			case task.OpSync:
+				c.Sync()
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package wsrt
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"palirria/internal/core"
+	"palirria/internal/topo"
+	"palirria/internal/xrand"
+)
+
+func TestParallelMergeSortCorrect(t *testing.T) {
+	rng := xrand.NewXoshiro256(42)
+	data := make([]int, 50000)
+	for i := range data {
+		data[i] = rng.Intn(1 << 20)
+	}
+	want := append([]int(nil), data...)
+	sort.Ints(want)
+
+	rt, err := New(Config{Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(ParallelMergeSort(data, 256)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d != %d", i, data[i], want[i])
+		}
+	}
+}
+
+func TestParallelMergeSortEdgeCases(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 255, 256, 257} {
+		rng := xrand.NewXoshiro256(uint64(n))
+		data := make([]int, n)
+		for i := range data {
+			data[i] = rng.Intn(100)
+		}
+		rt, err := New(Config{Mesh: topo.MustMesh(4), Source: 0, InitialDiaspora: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(ParallelMergeSort(data, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(data) {
+			t.Fatalf("n=%d not sorted: %v", n, data)
+		}
+	}
+}
+
+func TestCountNQueensKnownValues(t *testing.T) {
+	// Known solution counts: 8 -> 92, 9 -> 352, 10 -> 724.
+	want := map[int]int64{6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+	for n, expect := range want {
+		var got int64
+		rt, err := New(Config{Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(CountNQueens(n, 3, &got)); err != nil {
+			t.Fatal(err)
+		}
+		if got != expect {
+			t.Fatalf("queens(%d) = %d, want %d", n, got, expect)
+		}
+	}
+}
+
+func TestCountNQueensAdaptive(t *testing.T) {
+	// The real nQueens under an adaptive Palirria runtime still computes
+	// the right answer while the allotment moves.
+	var got int64
+	rt, err := New(Config{
+		Mesh: topo.MustMesh(4, 4), Source: 5,
+		Estimator: core.NewPalirria(),
+		Quantum:   300 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(CountNQueens(10, 4, &got)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 724 {
+		t.Fatalf("queens(10) = %d, want 724", got)
+	}
+}
+
+func TestParallelReduce(t *testing.T) {
+	var got int64
+	rt, err := New(Config{Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	if _, err := rt.Run(ParallelReduce(n, 128, func(i int) int64 { return int64(i) }, &got)); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; got != want {
+		t.Fatalf("reduce = %d, want %d", got, want)
+	}
+}
+
+func TestParallelReduceTinyGrain(t *testing.T) {
+	var got int64
+	rt, err := New(Config{Mesh: topo.MustMesh(2), Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(ParallelReduce(10, 0, func(i int) int64 { return 1 }, &got)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("reduce = %d", got)
+	}
+}

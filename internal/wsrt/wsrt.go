@@ -1,0 +1,515 @@
+// Package wsrt is a real goroutine-based WOOL-style work-stealing runtime
+// with adaptive allotments: the counterpart of the paper's Linux
+// implementation, where the simulator package is the counterpart of its
+// Barrelfish/Simics one.
+//
+// Workers are goroutines locked to OS threads (and, on Linux, best-effort
+// pinned to cores with sched_setaffinity), each owning a lock-free
+// Chase-Lev deque. The programming model is WOOL's: Spawn places a
+// stealable task in the owner's queue, Sync joins the youngest outstanding
+// spawn — popping and inlining it when it was not stolen, leapfrog-stealing
+// while waiting when it was. Victim selection is pluggable (DVS or
+// random), and a helper goroutine drives a core.Controller once per
+// quantum, growing and shrinking the allotment zone by zone through
+// sysched.Manager, with removed workers draining exactly as §4.1.1
+// prescribes.
+//
+// Caveat (from the reproduction calibration): Go's own scheduler sits
+// under the workers, so wall-clock results are noisier than the paper's
+// pthread runtime and far noisier than the deterministic simulator. The
+// benchmark harness therefore uses the simulator; this package exists to
+// demonstrate — and test — the algorithms on real parallelism.
+package wsrt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"palirria/internal/core"
+	"palirria/internal/deque"
+	"palirria/internal/dvs"
+	"palirria/internal/sysched"
+	"palirria/internal/topo"
+	"palirria/internal/trace"
+)
+
+// Func is a task body. The Ctx is only valid for the duration of the call.
+type Func func(*Ctx)
+
+// Config describes a runtime instance.
+type Config struct {
+	// Mesh is the virtual topology workers are laid out on; defaults to a
+	// 1xN mesh over GOMAXPROCS cores.
+	Mesh *topo.Mesh
+	// Source is the core the root task starts on (default: first usable).
+	Source topo.CoreID
+	// InitialDiaspora sets the starting allotment (default 1).
+	InitialDiaspora int
+	// MaxDiaspora caps growth (default: mesh maximum).
+	MaxDiaspora int
+	// Policy selects victim selection: "dvs" (default) or "random".
+	Policy string
+	// Seed drives the random policy.
+	Seed uint64
+	// Estimator enables adaptation; nil runs the fixed initial allotment.
+	Estimator core.Estimator
+	// Quantum is the estimation interval (default 2ms).
+	Quantum time.Duration
+	// QueueCap is the per-worker deque capacity (default 1024).
+	QueueCap int
+	// Pin locks workers to OS threads and, on Linux, sets CPU affinity.
+	Pin bool
+}
+
+// WorkerReport is one worker's accounting, in nanoseconds where the
+// simulator reports cycles.
+type WorkerReport struct {
+	// UsefulNS is time spent executing tasks.
+	UsefulNS int64
+	// SearchNS is time spent looking for work (probing and backoff).
+	SearchNS int64
+	// Tasks, Steals, FailedProbes count events.
+	Tasks, Steals, FailedProbes int64
+}
+
+// Report is a run's outcome.
+type Report struct {
+	// WallNS is the root task's wall-clock time in nanoseconds.
+	WallNS int64
+	// Workers maps cores to per-worker reports.
+	Workers map[topo.CoreID]*WorkerReport
+	// Timeline is the allotment size over time (nanoseconds).
+	Timeline *trace.Timeline
+	// Decisions logs the estimator's quanta.
+	Decisions *trace.Log
+	// MaxWorkers is the peak allotment size.
+	MaxWorkers int
+}
+
+// Runtime is a single-use work-stealing runtime: New, then Run once.
+type Runtime struct {
+	cfg  Config
+	mesh *topo.Mesh
+	mgr  *sysched.Manager
+	ctrl *core.Controller
+
+	workers map[topo.CoreID]*worker
+	policy  atomic.Value // dvs.Policy over the resident set
+
+	rootDone chan struct{}
+	started  atomic.Bool
+	finished atomic.Bool
+
+	timeline  trace.Timeline
+	decisions trace.Log
+	tlMu      sync.Mutex
+	startNS   int64
+
+	wg sync.WaitGroup
+}
+
+// New builds a runtime. Workers are created for every usable core of the
+// mesh but only the initial allotment is active; the rest are parked until
+// the estimator grows into them.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Mesh == nil {
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2
+		}
+		m, err := topo.NewMesh(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mesh = m
+	}
+	if cfg.Source == 0 && cfg.Mesh.Reserved(0) {
+		for id := topo.CoreID(0); int(id) < cfg.Mesh.NumCores(); id++ {
+			if !cfg.Mesh.Reserved(id) {
+				cfg.Source = id
+				break
+			}
+		}
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 2 * time.Millisecond
+	}
+	if cfg.InitialDiaspora == 0 {
+		cfg.InitialDiaspora = 1
+	}
+	// Clamp to the topology: InitialDiaspora beyond the mesh means "start
+	// with every usable core".
+	if max := cfg.Mesh.MaxDiaspora(cfg.Source); cfg.InitialDiaspora > max && max >= 1 {
+		cfg.InitialDiaspora = max
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "dvs"
+	}
+	opts := []sysched.Option{sysched.WithInitialDiaspora(cfg.InitialDiaspora)}
+	if cfg.MaxDiaspora > 0 {
+		opts = append(opts, sysched.WithMaxDiaspora(cfg.MaxDiaspora))
+	}
+	mgr, err := sysched.NewManager(cfg.Mesh, cfg.Source, opts...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:      cfg,
+		mesh:     cfg.Mesh,
+		mgr:      mgr,
+		workers:  make(map[topo.CoreID]*worker),
+		rootDone: make(chan struct{}),
+	}
+	if cfg.Estimator != nil {
+		r.ctrl = core.NewController(cfg.Estimator)
+	}
+	// Create a worker for every usable core; activate the initial set.
+	for id := topo.CoreID(0); int(id) < r.mesh.NumCores(); id++ {
+		if r.mesh.Reserved(id) {
+			continue
+		}
+		r.workers[id] = newWorker(r, id)
+	}
+	r.rebuildPolicy(mgr.Current())
+	return r, nil
+}
+
+// rebuildPolicy installs victim lists over the resident set (granted plus
+// draining workers).
+func (r *Runtime) rebuildPolicy(granted *topo.Allotment) {
+	var extra []topo.CoreID
+	for id, w := range r.workers {
+		if w.state.Load() == stateDraining && !granted.Contains(id) {
+			extra = append(extra, id)
+		}
+	}
+	resident := granted
+	if len(extra) > 0 {
+		cores := append(append([]topo.CoreID(nil), granted.Members()...), extra...)
+		if a, err := topo.NewAllotmentFromCores(r.mesh, granted.Source(), cores); err == nil {
+			resident = a
+		}
+	}
+	var p dvs.Policy
+	if r.cfg.Policy == "random" {
+		p = dvs.NewRandom(resident, r.cfg.Seed)
+	} else {
+		p = dvs.New(topo.Classify(resident))
+	}
+	r.policy.Store(p)
+}
+
+// Run executes root to completion and returns the report. A Runtime is
+// single-use: a second Run returns an error.
+func (r *Runtime) Run(root Func) (*Report, error) {
+	if !r.started.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("wsrt: runtime already used")
+	}
+	r.startNS = nowNS()
+	granted := r.mgr.Current()
+	r.recordTimeline(granted.Size())
+
+	// Start all worker goroutines; non-granted ones park immediately.
+	for _, w := range r.workers {
+		if granted.Contains(w.id) {
+			w.state.Store(stateActive)
+		} else {
+			w.state.Store(stateParked)
+		}
+		r.wg.Add(1)
+		go w.loop()
+	}
+	// Seed the root task on the source worker.
+	src := r.workers[r.cfg.Source]
+	rootTask := &rtTask{fn: func(c *Ctx) {
+		root(c)
+	}}
+	rootTask.isRoot = true
+	src.inject(rootTask)
+
+	// Estimation helper.
+	stopHelper := make(chan struct{})
+	helperDone := make(chan struct{})
+	if r.ctrl != nil {
+		go func() {
+			defer close(helperDone)
+			r.helperLoop(stopHelper)
+		}()
+	} else {
+		close(helperDone)
+	}
+
+	<-r.rootDone
+	wall := nowNS() - r.startNS
+	if r.ctrl != nil {
+		close(stopHelper)
+	}
+	<-helperDone
+	// Stop all workers.
+	for _, w := range r.workers {
+		w.stop()
+	}
+	r.wg.Wait()
+
+	rep := &Report{
+		WallNS:    wall,
+		Workers:   map[topo.CoreID]*WorkerReport{},
+		Timeline:  &r.timeline,
+		Decisions: &r.decisions,
+	}
+	r.tlMu.Lock()
+	rep.MaxWorkers = r.timeline.Max()
+	r.tlMu.Unlock()
+	for id, w := range r.workers {
+		if w.stats.Tasks == 0 && w.stats.FailedProbes == 0 {
+			continue
+		}
+		ws := w.stats
+		rep.Workers[id] = &ws
+	}
+	return rep, nil
+}
+
+func (r *Runtime) recordTimeline(workers int) {
+	r.tlMu.Lock()
+	defer r.tlMu.Unlock()
+	t := nowNS() - r.startNS
+	if t < 0 {
+		t = 0
+	}
+	r.timeline.Record(t, workers)
+}
+
+// helperLoop is the system-level helper thread: it evaluates the estimator
+// every quantum and applies allotment changes in the background.
+func (r *Runtime) helperLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(r.cfg.Quantum)
+	defer ticker.Stop()
+	lastWasted := map[topo.CoreID]int64{}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if r.finished.Load() {
+			return
+		}
+		granted := r.mgr.Current()
+		class := topo.Classify(granted)
+		snaps := make(map[topo.CoreID]*core.WorkerSnapshot, granted.Size())
+		for _, id := range granted.Members() {
+			w := r.workers[id]
+			total := atomic.LoadInt64(&w.stats.SearchNS)
+			delta := total - lastWasted[id]
+			lastWasted[id] = total
+			snaps[id] = &core.WorkerSnapshot{
+				ID:           id,
+				QueueLen:     w.deque.Len(),
+				MaxQueueLen:  int(w.hwm.Swap(0)),
+				Busy:         w.busy.Load(),
+				WastedCycles: delta,
+				Draining:     w.state.Load() == stateDraining,
+			}
+		}
+		snap := &core.Snapshot{
+			Allotment:     granted,
+			Class:         class,
+			Workers:       snaps,
+			QuantumCycles: int64(r.cfg.Quantum),
+			Time:          nowNS() - r.startNS,
+		}
+		desired := r.ctrl.Step(snap)
+		next, changed := r.mgr.Grant(desired)
+		r.ctrl.Granted(next.Size())
+		r.decisions.Add(trace.Decision{
+			Time:      nowNS() - r.startNS,
+			Estimator: r.ctrl.Est.Name(),
+			Desired:   desired,
+			Granted:   next.Size(),
+		})
+		if !changed {
+			continue
+		}
+		// Drain workers leaving the grant; activate workers entering it.
+		for _, id := range granted.Members() {
+			if !next.Contains(id) {
+				r.workers[id].state.CompareAndSwap(stateActive, stateDraining)
+			}
+		}
+		for _, id := range next.Members() {
+			w := r.workers[id]
+			for {
+				s := w.state.Load()
+				if s == stateActive || s == stateStopped {
+					break
+				}
+				if w.state.CompareAndSwap(s, stateActive) {
+					w.unpark()
+					break
+				}
+			}
+		}
+		r.rebuildPolicy(next)
+		r.recordTimeline(next.Size())
+	}
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }
+
+// worker states.
+const (
+	stateParked int32 = iota
+	stateActive
+	stateDraining
+	stateStopped
+)
+
+// worker is one work-stealing worker thread.
+type worker struct {
+	id    topo.CoreID
+	rt    *Runtime
+	deque *deque.ChaseLev[rtTask]
+	state atomic.Int32
+	parkC chan struct{}
+
+	// hwm is the per-quantum µ(Q) high-water mark.
+	hwm atomic.Int32
+	// busy reports a task currently executing; depth tracks runTask
+	// nesting (owner-only).
+	busy  atomic.Bool
+	depth int
+
+	stats WorkerReport
+}
+
+func newWorker(r *Runtime, id topo.CoreID) *worker {
+	return &worker{
+		id:    id,
+		rt:    r,
+		deque: deque.MustChaseLev[rtTask](r.cfg.QueueCap),
+		parkC: make(chan struct{}, 1),
+	}
+}
+
+// inject places a task directly in the worker's deque from outside (used
+// to seed the root).
+func (w *worker) inject(t *rtTask) {
+	for !w.deque.PushBottom(t) {
+		runtime.Gosched()
+	}
+	w.unpark()
+}
+
+func (w *worker) unpark() {
+	select {
+	case w.parkC <- struct{}{}:
+	default:
+	}
+}
+
+func (w *worker) stop() {
+	w.state.Store(stateStopped)
+	w.unpark()
+}
+
+// loop is the worker's main loop.
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	if w.rt.cfg.Pin {
+		runtime.LockOSThread()
+		setAffinity(int(w.id))
+		defer runtime.UnlockOSThread()
+	}
+	backoff := time.Microsecond
+	for {
+		switch w.state.Load() {
+		case stateStopped:
+			return
+		case stateParked:
+			select {
+			case <-w.parkC:
+			case <-time.After(time.Millisecond):
+			}
+			continue
+		}
+		if w.rt.finished.Load() {
+			return
+		}
+		// Own queue first.
+		if t, ok := w.deque.PopBottom(); ok {
+			w.runTask(t)
+			backoff = time.Microsecond
+			continue
+		}
+		if w.state.Load() == stateDraining {
+			// Removed and drained: park until revoked or stopped.
+			w.state.CompareAndSwap(stateDraining, stateParked)
+			continue
+		}
+		// Steal.
+		if w.stealOnce() {
+			backoff = time.Microsecond
+			continue
+		}
+		t0 := nowNS()
+		time.Sleep(backoff)
+		atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
+		if backoff < 256*time.Microsecond {
+			backoff *= 2
+		}
+	}
+}
+
+// stealOnce probes the victim list once and executes a stolen task if any.
+func (w *worker) stealOnce() bool {
+	p, _ := w.rt.policy.Load().(dvs.Policy)
+	if p == nil {
+		return false
+	}
+	t0 := nowNS()
+	for _, v := range p.Victims(w.id) {
+		vw := w.rt.workers[v]
+		if vw == nil {
+			continue
+		}
+		if t, ok := vw.deque.StealTop(); ok {
+			atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
+			atomic.AddInt64(&w.stats.Steals, 1)
+			w.runTask(t)
+			return true
+		}
+		atomic.AddInt64(&w.stats.FailedProbes, 1)
+	}
+	atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
+	return false
+}
+
+// runTask executes one task to completion (including its implicit joins).
+// It nests: Sync pops and inlines unstolen children through runTask, so the
+// busy flag follows a depth counter (owner-only writes).
+func (w *worker) runTask(t *rtTask) {
+	w.depth++
+	w.busy.Store(true)
+	t0 := nowNS()
+	ctx := &Ctx{w: w}
+	t.fn(ctx)
+	ctx.joinAll()
+	t.done.Store(true)
+	atomic.AddInt64(&w.stats.UsefulNS, nowNS()-t0)
+	atomic.AddInt64(&w.stats.Tasks, 1)
+	w.depth--
+	if w.depth == 0 {
+		w.busy.Store(false)
+	}
+	if t.isRoot {
+		w.rt.finished.Store(true)
+		close(w.rt.rootDone)
+	}
+}

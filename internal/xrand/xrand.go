@@ -1,0 +1,132 @@
+// Package xrand provides small, deterministic pseudo-random number
+// generators used throughout the simulator and the runtime.
+//
+// The standard library's math/rand is deliberately avoided for simulation
+// state: its global source is not reproducible under concurrent use and its
+// algorithm is not guaranteed stable across Go releases. Determinism is a
+// design requirement (see DESIGN.md §5): identical configurations must
+// produce bit-identical results, because the benchmark harness compares runs
+// across schedulers and the tests assert exact outcomes.
+package xrand
+
+// SplitMix64 is the Vigna splitmix64 generator. It passes BigCrush, has a
+// period of 2^64 and is seedable from any 64-bit value, which makes it ideal
+// both as a stand-alone stream and as a seeder for Xoshiro256.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 implements xoshiro256** by Blackman and Vigna: fast, tiny state,
+// and high statistical quality. One instance per simulated worker keeps
+// random victim selection independent of event interleaving.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is expanded from seed with
+// SplitMix64, per the authors' recommendation. A zero seed is valid.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// The all-zero state is the one invalid state; SplitMix64 cannot emit
+	// four consecutive zeros, but guard anyway for clarity.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 1
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next 64-bit value in the stream.
+func (x *Xoshiro256) Next() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := x.Next()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (x *Xoshiro256) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	x.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place using the Fisher-Yates algorithm.
+func (x *Xoshiro256) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo). Written out
+// explicitly so the package has no dependency on math/bits semantics
+// changing (it mirrors bits.Mul64).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Hash64 mixes a 64-bit value through the SplitMix64 finalizer. Useful for
+// deriving independent per-entity seeds from a base seed and an index.
+func Hash64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}

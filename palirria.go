@@ -1,0 +1,426 @@
+// Package palirria is a from-scratch reproduction of "Palirria: Accurate
+// On-line Parallelism Estimation for Adaptive Work-Stealing" (Varisteas &
+// Brorsson, PMAM/PPoPP 2014).
+//
+// It provides:
+//
+//   - a WOOL-style work-stealing runtime in two flavours — a deterministic
+//     discrete-event simulator (Sim*) that reproduces the paper's
+//     evaluation platforms, and a real goroutine-based runtime (package
+//     palirria/internal/wsrt via the RT* API) for actually running Go
+//     code;
+//   - Deterministic Victim Selection (DVS) over 1D/2D/3D mesh topologies,
+//     with the X/Z/F worker classification of the paper;
+//   - the Palirria estimator (Diaspora Malleability Conditions) and the
+//     ASTEAL baseline estimator, both driving a zone-granular system
+//     scheduler;
+//   - the paper's seven evaluation workloads plus synthetic extras, and a
+//     harness regenerating every figure and table of the evaluation
+//     (cmd/palirria-bench).
+//
+// Quick start:
+//
+//	rep, err := palirria.RunSim(palirria.SimConfig{
+//	    Platform:  "sim32",
+//	    Workload:  "fib",
+//	    Scheduler: "palirria",
+//	})
+//
+// Lower-level control is available through the aliased subsystem types
+// below (Mesh, Allotment, TaskSpec, SimRunConfig, ...).
+package palirria
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"palirria/internal/asteal"
+	"palirria/internal/core"
+	"palirria/internal/metrics"
+	"palirria/internal/plot"
+	"palirria/internal/saws"
+	"palirria/internal/sim"
+	"palirria/internal/sysched"
+	"palirria/internal/task"
+	"palirria/internal/topo"
+	"palirria/internal/trace"
+	"palirria/internal/workload"
+	"palirria/internal/wsrt"
+)
+
+// --- Re-exported subsystem types ----------------------------------------
+
+// Mesh is a 1-3 dimensional processor grid; see NewMesh.
+type Mesh = topo.Mesh
+
+// CoreID identifies a core on a mesh.
+type CoreID = topo.CoreID
+
+// Coord is a mesh position.
+type Coord = topo.Coord
+
+// Allotment is a workload's worker set.
+type Allotment = topo.Allotment
+
+// Classification is the X/Z/F classification of an allotment.
+type Classification = topo.Classification
+
+// TaskSpec describes one task of a fork/join program.
+type TaskSpec = task.Spec
+
+// TaskOp is one operation of a task program.
+type TaskOp = task.Op
+
+// TaskBuilder lazily produces a child task.
+type TaskBuilder = task.Builder
+
+// Estimator is the per-quantum resource estimation interface.
+type Estimator = core.Estimator
+
+// Snapshot is an estimator's view of the allotment at a quantum boundary.
+type Snapshot = core.Snapshot
+
+// WorkerStats is the per-worker cycle accounting.
+type WorkerStats = metrics.WorkerStats
+
+// Timeline is the allotment-size-over-time trace.
+type Timeline = trace.Timeline
+
+// SimRunConfig is the full low-level simulator configuration.
+type SimRunConfig = sim.Config
+
+// SimResult is the raw simulator outcome.
+type SimResult = sim.Result
+
+// SimCosts is the runtime cost model of the simulator.
+type SimCosts = sim.Costs
+
+// NewMesh builds a mesh topology with the given extents (1-3 dimensions).
+func NewMesh(dims ...int) (*Mesh, error) { return topo.NewMesh(dims...) }
+
+// NewAllotment builds the complete allotment of diaspora d around source.
+func NewAllotment(m *Mesh, source CoreID, d int) (*Allotment, error) {
+	return topo.NewAllotment(m, source, d)
+}
+
+// Classify computes the X/Z/F classification of an allotment.
+func Classify(a *Allotment) *Classification { return topo.Classify(a) }
+
+// NewPalirria returns the paper's estimator.
+func NewPalirria() Estimator { return core.NewPalirria() }
+
+// NewASteal returns the ASTEAL baseline estimator.
+func NewASteal() Estimator { return asteal.New() }
+
+// NewSAWS returns the sampling-based queue estimator after Cao et al.
+// (HPCC 2011), the third estimator family the paper discusses.
+func NewSAWS(seed uint64) Estimator { return saws.New(seed) }
+
+// Task DSL constructors, re-exported for custom workloads.
+var (
+	// Compute returns a compute op of w cycles.
+	Compute = task.Compute
+	// Spawn returns a spawn op (stealable child).
+	Spawn = task.Spawn
+	// Call returns an inline-call op.
+	Call = task.Call
+	// Sync returns a join of the youngest outstanding spawn.
+	Sync = task.Sync
+	// Leaf returns a compute-only task.
+	Leaf = task.Leaf
+	// SpawnJoin builds the common fan-out/join pattern.
+	SpawnJoin = task.SpawnJoin
+)
+
+// Workloads returns the names of the built-in workloads.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadRoot builds the root task of a built-in workload for the given
+// platform ("sim32" or "numa48").
+func WorkloadRoot(name, platform string) (*TaskSpec, error) {
+	d, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	switch platform {
+	case "", "sim32":
+		return d.Root(workload.Simulator), nil
+	case "numa48":
+		return d.Root(workload.NUMA), nil
+	default:
+		return nil, fmt.Errorf("palirria: unknown platform %q (sim32, numa48)", platform)
+	}
+}
+
+// SimRun executes a fully custom simulator configuration.
+func SimRun(cfg SimRunConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimJob describes one application of a multiprogrammed simulation.
+type SimJob = sim.Job
+
+// SimMultiConfig configures a multiprogrammed simulation: several jobs
+// co-scheduled on one mesh through the arbiter (the paper's §8 next step).
+type SimMultiConfig = sim.MultiConfig
+
+// SimMultiResult is a multiprogrammed run's outcome.
+type SimMultiResult = sim.MultiResult
+
+// SimRunMulti executes a multiprogrammed simulation.
+func SimRunMulti(cfg SimMultiConfig) (*SimMultiResult, error) { return sim.RunMulti(cfg) }
+
+// --- Real-threads runtime (package wsrt) ---------------------------------
+
+// RTConfig configures the real goroutine-based work-stealing runtime.
+type RTConfig = wsrt.Config
+
+// RTCtx is the per-task context of the real runtime (Spawn/Sync/Compute).
+type RTCtx = wsrt.Ctx
+
+// RTFunc is a task body for the real runtime.
+type RTFunc = wsrt.Func
+
+// RTReport is a real-runtime run report.
+type RTReport = wsrt.Report
+
+// RTRuntime is a single-use real-threads runtime instance.
+type RTRuntime = wsrt.Runtime
+
+// NewRuntime builds a real-threads work-stealing runtime.
+func NewRuntime(cfg RTConfig) (*RTRuntime, error) { return wsrt.New(cfg) }
+
+// SpecTask adapts a task tree to the real runtime.
+func SpecTask(s *TaskSpec) RTFunc { return wsrt.SpecFunc(s) }
+
+// RTFuture is a typed future over the WOOL spawn/sync discipline; see
+// GoRT. Futures join in LIFO order (youngest first).
+type RTFuture[T any] struct{ inner *wsrt.Future[T] }
+
+// GoRT spawns fn as a stealable task on the real runtime and returns a
+// future for its result.
+func GoRT[T any](c *RTCtx, fn func(*RTCtx) T) RTFuture[T] {
+	return RTFuture[T]{inner: wsrt.Go(c, fn)}
+}
+
+// Join waits for (or inlines) the computation and returns its value. It
+// must be called in LIFO order among the task's outstanding spawns.
+func (f RTFuture[T]) Join(c *RTCtx) T { return f.inner.Join(c) }
+
+// --- Multiprogramming (package sysched) ----------------------------------
+
+// Arbiter co-schedules several applications on one mesh (paper Fig. 2).
+type Arbiter = sysched.Arbiter
+
+// App is one application registered with an Arbiter.
+type App = sysched.App
+
+// NewArbiter returns an arbiter over mesh.
+func NewArbiter(m *Mesh) *Arbiter { return sysched.NewArbiter(m) }
+
+// RenderClassGrid writes an allotment's DVS classification as a text grid
+// (the paper's Figs. 1/9 style).
+func RenderClassGrid(w io.Writer, title string, c *Classification) {
+	plot.ClassGrid(w, title, c)
+}
+
+// RenderOwnership writes a mesh ownership map for several co-scheduled
+// applications (the paper's Fig. 2 style).
+func RenderOwnership(w io.Writer, title string, m *Mesh, apps []*Allotment) {
+	plot.MultiClassGrid(w, title, m, apps)
+}
+
+// --- High-level API ------------------------------------------------------
+
+// SimConfig is the high-level single-run configuration.
+type SimConfig struct {
+	// Platform selects the evaluation platform: "sim32" (ideal 32-core 8x4
+	// mesh, the paper's Barrelfish simulator) or "numa48" (the 48-core
+	// NUMA model of the paper's Linux machine). Default "sim32".
+	Platform string
+	// Workload names a built-in workload (see Workloads). Ignored when
+	// Root is set.
+	Workload string
+	// Root optionally supplies a custom task tree.
+	Root *TaskSpec
+	// Scheduler selects "wool" (fixed allotment, random victims),
+	// "asteal" (adaptive baseline) or "palirria" (DVS + DMC estimation).
+	// Default "palirria".
+	Scheduler string
+	// FixedWorkers sets the allotment size for "wool" (default: platform
+	// maximum). Adaptive schedulers start at 5 workers per the paper.
+	FixedWorkers int
+	// Quantum overrides the estimation interval in cycles.
+	Quantum int64
+	// Seed drives random victim selection.
+	Seed uint64
+	// TraceCap enables the scheduler event trace (0 = off).
+	TraceCap int
+}
+
+// Report is the high-level outcome of a run.
+type Report struct {
+	// ExecCycles is the execution time measured at the source worker.
+	ExecCycles int64
+	// MaxWorkers is the peak allotment size.
+	MaxWorkers int
+	// AvgWorkers is the time-averaged allotment size.
+	AvgWorkers float64
+	// WastefulnessPercent is the paper's wasted-cycles metric.
+	WastefulnessPercent float64
+	// Steals and FailedProbes aggregate the steal activity.
+	Steals, FailedProbes int64
+	// Tasks counts executed tasks.
+	Tasks int64
+	// Timeline is the allotment size over time.
+	Timeline *Timeline
+	// Workers holds the per-core statistics.
+	Workers map[CoreID]*WorkerStats
+	// Trace holds scheduler events when SimConfig.TraceCap > 0.
+	Trace []SimTraceEvent
+}
+
+// RunSim executes the high-level configuration on the simulator.
+func RunSim(cfg SimConfig) (*Report, error) {
+	var mesh *Mesh
+	var source CoreID
+	var maxD int
+	var machine sim.MachineModel
+	var wp workload.Platform
+	switch cfg.Platform {
+	case "", "sim32":
+		mesh = topo.MustMesh(8, 4)
+		mesh.Reserve(0, 1)
+		source, maxD, wp = 20, 4, workload.Simulator
+		machine = sim.Ideal{}
+	case "numa48":
+		mesh = topo.MustMesh(8, 6)
+		mesh.Reserve(0, 1, 2)
+		source, maxD, wp = 28, 6, workload.NUMA
+		machine = sim.NewNUMA(mesh)
+	default:
+		return nil, fmt.Errorf("palirria: unknown platform %q (sim32, numa48)", cfg.Platform)
+	}
+	root := cfg.Root
+	if root == nil {
+		d, err := workload.Get(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		root = d.Root(wp)
+	}
+	rc := sim.Config{
+		Mesh:        mesh,
+		Source:      source,
+		Root:        root,
+		Machine:     machine,
+		MaxDiaspora: maxD,
+		Quantum:     cfg.Quantum,
+		Seed:        cfg.Seed,
+		TraceCap:    cfg.TraceCap,
+	}
+	switch cfg.Scheduler {
+	case "wool":
+		rc.InitialDiaspora = maxD
+		if size := cfg.FixedWorkers; size != 0 {
+			dd, a, ok := topo.DiasporaForSize(mesh, source, size)
+			if !ok || dd > maxD || a.Size() < size {
+				return nil, fmt.Errorf("palirria: no allotment of size %d within the platform cap", size)
+			}
+			rc.InitialDiaspora = dd
+		}
+		rc.Policy = "random"
+	case "asteal":
+		rc.InitialDiaspora = 1
+		rc.Policy = "random"
+		rc.Estimator = asteal.New()
+	case "", "palirria":
+		rc.InitialDiaspora = 1
+		rc.Policy = "dvs"
+		rc.Estimator = core.NewPalirria()
+	default:
+		return nil, fmt.Errorf("palirria: unknown scheduler %q (wool, asteal, palirria)", cfg.Scheduler)
+	}
+	res, err := sim.Run(rc)
+	if err != nil {
+		return nil, err
+	}
+	rep := res.Report()
+	out := &Report{
+		ExecCycles:          res.ExecCycles,
+		MaxWorkers:          rep.MaxWorkers,
+		WastefulnessPercent: rep.WastefulnessPercent(),
+		Steals:              rep.TotalSteals,
+		FailedProbes:        rep.TotalFailedProbes,
+		Tasks:               rep.TotalTasks,
+		Timeline:            res.Timeline,
+		Workers:             res.Workers,
+	}
+	out.Trace = res.Trace
+	if res.ExecCycles > 0 {
+		out.AvgWorkers = float64(res.Timeline.Area(res.ExecCycles)) / float64(res.ExecCycles)
+	}
+	return out, nil
+}
+
+// reportJSON is the serializable projection of a Report.
+type reportJSON struct {
+	ExecCycles          int64               `json:"exec_cycles"`
+	MaxWorkers          int                 `json:"max_workers"`
+	AvgWorkers          float64             `json:"avg_workers"`
+	WastefulnessPercent float64             `json:"wastefulness_percent"`
+	Steals              int64               `json:"steals"`
+	FailedProbes        int64               `json:"failed_probes"`
+	Tasks               int64               `json:"tasks"`
+	Timeline            []timelinePointJSON `json:"timeline"`
+	Workers             map[int]workerJSON  `json:"workers"`
+}
+
+type timelinePointJSON struct {
+	Time    int64 `json:"time"`
+	Workers int   `json:"workers"`
+}
+
+type workerJSON struct {
+	Useful    int64 `json:"useful_cycles"`
+	Wasted    int64 `json:"wasted_cycles"`
+	Total     int64 `json:"total_cycles"`
+	Tasks     int64 `json:"tasks"`
+	Steals    int64 `json:"steals"`
+	JoinedAt  int64 `json:"joined_at"`
+	RetiredAt int64 `json:"retired_at"`
+}
+
+// JSON serializes the report for downstream analysis tools.
+func (r *Report) JSON() ([]byte, error) {
+	out := reportJSON{
+		ExecCycles:          r.ExecCycles,
+		MaxWorkers:          r.MaxWorkers,
+		AvgWorkers:          r.AvgWorkers,
+		WastefulnessPercent: r.WastefulnessPercent,
+		Steals:              r.Steals,
+		FailedProbes:        r.FailedProbes,
+		Tasks:               r.Tasks,
+		Workers:             map[int]workerJSON{},
+	}
+	for _, p := range r.Timeline.Points() {
+		out.Timeline = append(out.Timeline, timelinePointJSON{Time: p.Time, Workers: p.Workers})
+	}
+	for id, ws := range r.Workers {
+		out.Workers[int(id)] = workerJSON{
+			Useful:    ws.Useful(),
+			Wasted:    ws.Wasted(),
+			Total:     ws.Total(),
+			Tasks:     ws.TasksRun,
+			Steals:    ws.Steals,
+			JoinedAt:  ws.JoinedAt,
+			RetiredAt: ws.RetiredAt,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SimTraceEvent is one scheduler trace event.
+type SimTraceEvent = sim.TraceEvent
+
+// WriteSimTrace renders trace events, one per line.
+func WriteSimTrace(w io.Writer, events []SimTraceEvent) { sim.WriteTrace(w, events) }
