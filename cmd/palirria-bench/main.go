@@ -12,6 +12,7 @@
 //	palirria-bench -summary          # headline PA-vs-AS aggregates
 //	palirria-bench -ablations        # quantum/L/victim/filter/overhead
 //	palirria-bench -all              # everything
+//	palirria-bench -trace-out /tmp/fib.json -trace-workload fib
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 	"time"
 
+	"palirria"
 	"palirria/internal/experiments"
 )
 
@@ -31,8 +33,17 @@ func main() {
 	seeds := flag.Int("seeds", 1, "seeds per configuration; >1 reports the second-best run (the paper ran 10)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	all := flag.Bool("all", false, "regenerate everything")
+	traceOut := flag.String("trace-out", "", "trace one simulator run to a Chrome trace_event JSON file and exit")
+	traceWL := flag.String("trace-workload", "fib", "workload for -trace-out")
 	flag.Parse()
 
+	if *traceOut != "" {
+		if err := traceRun(*traceWL, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !*all && !*summary && !*ablations && !*multiprog && !*rt && *fig == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -43,6 +54,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n(total harness time: %s)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// traceRun executes one palirria-scheduled simulator run of the named
+// workload with tracing and estimator introspection on, writes the Chrome
+// trace, and prints the per-worker accounting table.
+func traceRun(wl, path string) error {
+	rep, err := palirria.RunSim(palirria.SimConfig{
+		Workload:   wl,
+		Scheduler:  "palirria",
+		Observe:    true,
+		Introspect: true,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Obs.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s under palirria: %d cycles, %d events, %d estimator snapshots -> %s\n",
+		wl, rep.ExecCycles, len(rep.Obs.Events), len(rep.EstimatorTrace), path)
+	rep.Metrics.WriteTable(os.Stdout)
+	return nil
 }
 
 func run(fig int, summary, ablations, multiprog, rt, all bool, nseeds int) error {

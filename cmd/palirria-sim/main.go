@@ -6,13 +6,13 @@
 //	palirria-sim -workload fib -scheduler palirria -platform sim32
 //	palirria-sim -workload sort -scheduler wool -workers 27
 //	palirria-sim -workload bursty -scheduler asteal -quantum 20000 -timeline
+//	palirria-sim -workload fib -trace-out /tmp/fib.json   # chrome://tracing
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"palirria"
@@ -29,6 +29,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the last N scheduler trace events")
 	perWorker := flag.Bool("per-worker", false, "print per-worker cycle accounting")
 	asJSON := flag.Bool("json", false, "emit the full report as JSON")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	rep, err := palirria.RunSim(palirria.SimConfig{
@@ -39,12 +40,36 @@ func main() {
 		Quantum:      *quantum,
 		Seed:         *seed,
 		TraceCap:     *traceN,
+		Observe:      *traceOut != "",
+		// JSON reports and Chrome traces both carry the estimator
+		// introspection snapshots.
+		Introspect: *asJSON || *traceOut != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "palirria-sim:", err)
 		os.Exit(1)
 	}
 
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-sim:", err)
+			os.Exit(1)
+		}
+		if err := rep.Obs.WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-sim:", err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Printf("trace:         %d events, %d estimator snapshots -> %s\n",
+				len(rep.Obs.Events), len(rep.EstimatorTrace), *traceOut)
+		}
+	}
 	if *asJSON {
 		data, err := rep.JSON()
 		if err != nil {
@@ -72,15 +97,7 @@ func main() {
 		palirria.WriteSimTrace(os.Stdout, rep.Trace)
 	}
 	if *perWorker {
-		fmt.Println("\nper-worker accounting (core: useful/wasted/total cycles):")
-		ids := make([]int, 0, len(rep.Workers))
-		for id := range rep.Workers {
-			ids = append(ids, int(id))
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			ws := rep.Workers[palirria.CoreID(id)]
-			fmt.Printf("  core %2d: %12d / %10d / %12d\n", id, ws.Useful(), ws.Wasted(), ws.Total())
-		}
+		fmt.Println("\nper-worker accounting:")
+		rep.Metrics.WriteTable(os.Stdout)
 	}
 }

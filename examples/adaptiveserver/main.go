@@ -7,8 +7,11 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sync/atomic"
 	"time"
 
@@ -24,18 +27,34 @@ type wave struct {
 }
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090) and wait for Ctrl-C after the run")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
+	flag.Parse()
+
 	// A 4x4 virtual mesh: sixteen workers laid out for DVS. On small
 	// hosts they timeshare; the estimation dynamics are the same.
 	mesh, err := palirria.NewMesh(4, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := palirria.NewRuntime(palirria.RTConfig{
+	cfg := palirria.RTConfig{
 		Mesh:      mesh,
 		Source:    5, // an interior core, like the paper's platforms
 		Estimator: palirria.NewPalirria(),
 		Quantum:   time.Millisecond,
-	})
+	}
+	var srv *palirria.ObsServer
+	if *metricsAddr != "" {
+		cfg.Metrics = palirria.NewObsRegistry()
+		if srv, err = palirria.ServeObs(*metricsAddr, cfg.Metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability server on %s (/metrics, /debug/vars, /debug/pprof)\n", srv.URL())
+	}
+	if *traceOut != "" {
+		cfg.Tracer = palirria.NewObsTracer(1000) // wall-clock ns -> µs
+	}
+	rt, err := palirria.NewRuntime(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,6 +92,30 @@ func main() {
 	}
 	fmt.Printf("\n%d estimator decisions, peak %d workers\n",
 		len(rep.Decisions.Decisions()), rep.MaxWorkers)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		td := cfg.Tracer.Drain()
+		if err := td.WriteChrome(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events -> %s\n", len(td.Events), *traceOut)
+	}
+	if srv != nil {
+		fmt.Printf("serving metrics on %s — Ctrl-C to exit\n", srv.URL())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		srv.Close()
+	}
 }
 
 // serveWave fans the wave's requests out as a binary spawn tree so stolen

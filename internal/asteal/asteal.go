@@ -44,9 +44,18 @@ type ASteal struct {
 	lastDesire int
 	granted    int
 	started    bool
+
+	// lastInputs records the most recent quantum's classification inputs
+	// for Introspect.
+	lastInputs struct {
+		wasted, total int64
+		inefficient   bool
+		satisfied     bool
+	}
 }
 
 var _ core.Estimator = (*ASteal)(nil)
+var _ core.Introspector = (*ASteal)(nil)
 
 // New returns an ASTEAL estimator with the default parameters.
 func New() *ASteal {
@@ -79,6 +88,8 @@ func (a *ASteal) Estimate(s *core.Snapshot) int {
 	total := int64(cur) * s.QuantumCycles
 	inefficient := total > 0 && float64(wasted) > (1-a.Delta)*float64(total)
 	satisfied := a.granted >= a.lastDesire
+	a.lastInputs.wasted, a.lastInputs.total = wasted, total
+	a.lastInputs.inefficient, a.lastInputs.satisfied = inefficient, satisfied
 
 	switch {
 	case inefficient:
@@ -109,3 +120,40 @@ func (a *ASteal) Granted(workers int) { a.granted = workers }
 
 // Desire returns the current real-valued desire (for tests and traces).
 func (a *ASteal) Desire() float64 { return a.desire }
+
+// Introspect implements core.Introspector: it exposes the utilization
+// inputs behind the last Estimate. Inputs: wasted_cycles, total_cycles,
+// inefficient (0/1), satisfied (0/1), desire (the real-valued state),
+// delta, rho.
+func (a *ASteal) Introspect(s *core.Snapshot) *core.Introspection {
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	in := &core.Introspection{
+		Decision: core.DecisionOf(s.Allotment.Size(), a.lastDesire),
+		Inputs: map[string]float64{
+			"wasted_cycles": float64(a.lastInputs.wasted),
+			"total_cycles":  float64(a.lastInputs.total),
+			"inefficient":   b2f(a.lastInputs.inefficient),
+			"satisfied":     b2f(a.lastInputs.satisfied),
+			"desire":        a.desire,
+			"delta":         a.Delta,
+			"rho":           a.Rho,
+		},
+	}
+	for _, id := range s.Allotment.Members() {
+		iw := core.IntrospectedWorker{ID: id}
+		if ws := s.Workers[id]; ws != nil {
+			iw.QueueLen = ws.QueueLen
+			iw.MaxQueueLen = ws.MaxQueueLen
+			iw.Busy = ws.Busy
+			iw.Draining = ws.Draining
+			iw.WastedCycles = ws.WastedCycles
+		}
+		in.Workers = append(in.Workers, iw)
+	}
+	return in
+}

@@ -72,6 +72,18 @@ type Controller struct {
 	Filter *Filter
 
 	decisions int
+	last      StepInfo
+}
+
+// StepInfo records the two stages of one quantum's decision: the
+// estimator's raw answer and what the false-positive filter let through.
+// The observability layer reads it to make filtered decisions
+// explainable.
+type StepInfo struct {
+	// Raw is the estimator's unfiltered desired worker count.
+	Raw int
+	// Filtered is the count forwarded to the system layer.
+	Filtered int
 }
 
 // NewController returns a controller over est with the default filter.
@@ -85,11 +97,16 @@ func NewController(est Estimator) *Controller {
 func (c *Controller) Step(s *Snapshot) int {
 	c.decisions++
 	desired := c.Est.Estimate(s)
+	c.last.Raw = desired
 	if c.Filter != nil {
 		desired = c.Filter.Apply(s.Allotment.Size(), desired)
 	}
+	c.last.Filtered = desired
 	return desired
 }
+
+// Last returns the raw and filtered desire of the most recent Step.
+func (c *Controller) Last() StepInfo { return c.last }
 
 // Granted forwards the grant outcome to the estimator.
 func (c *Controller) Granted(workers int) { c.Est.Granted(workers) }

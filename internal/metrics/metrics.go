@@ -160,9 +160,12 @@ func (r *Report) WastefulnessPercent() float64 {
 	if r.ExecCycles <= 0 || len(r.Workers) == 0 {
 		return 0
 	}
+	// Sum in worker-id order: float addition is order-sensitive and map
+	// iteration would make the last ulp nondeterministic across runs.
 	var sum float64
 	n := 0
-	for _, ws := range r.Workers {
+	for _, id := range r.sortedIDs() {
+		ws := r.Workers[id]
 		span := workerSpan(ws, r.ExecCycles)
 		if span <= 0 {
 			continue

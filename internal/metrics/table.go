@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteTable renders the per-worker accounting as an aligned text table:
+// one row per participating core plus a totals row. It is the shared
+// renderer behind palirria-sim's --per-worker output and the benchmark
+// harness summaries.
+func (r *Report) WriteTable(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "core\tuseful\twasted\ttotal\ttasks\tsteals\tprobes\t")
+	var useful, wasted, total int64
+	for _, id := range r.sortedIDs() {
+		ws := r.Workers[id]
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			id, ws.Useful(), ws.Wasted(), ws.Total(), ws.TasksRun, ws.Steals, ws.FailedProbes)
+		useful += ws.Useful()
+		wasted += ws.Wasted()
+		total += ws.Total()
+	}
+	fmt.Fprintf(tw, "all\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+		useful, wasted, total, r.TotalTasks, r.TotalSteals, r.TotalFailedProbes)
+	tw.Flush()
+}
+
+// String renders the table (see WriteTable).
+func (r *Report) String() string {
+	var b strings.Builder
+	r.WriteTable(&b)
+	return b.String()
+}
+
+// sortedIDs returns the participating worker ids in ascending order.
+func (r *Report) sortedIDs() []int {
+	ids := make([]int, 0, len(r.Workers))
+	for id := range r.Workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func tableReport() *Report {
+	mk := func(compute, probe int64, tasks, steals, probes int64) *WorkerStats {
+		ws := &WorkerStats{TasksRun: tasks, Steals: steals, FailedProbes: probes}
+		ws.Add(Compute, compute)
+		ws.Add(ProbeFail, probe)
+		return ws
+	}
+	return &Report{
+		ExecCycles: 1000,
+		Workers: map[int]*WorkerStats{
+			3:  mk(100, 10, 4, 1, 2),
+			20: mk(123456789, 7, 11, 3, 5),
+		},
+		TotalTasks: 15, TotalSteals: 4, TotalFailedProbes: 7,
+	}
+}
+
+func TestWriteTableAlignment(t *testing.T) {
+	out := tableReport().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 2 workers + totals, got %d lines:\n%s", len(lines), out)
+	}
+	// Rows are sorted by core id, totals last.
+	if f := strings.Fields(lines[1]); f[0] != "3" {
+		t.Fatalf("first data row is %q, want core 3", lines[1])
+	}
+	if f := strings.Fields(lines[2]); f[0] != "20" {
+		t.Fatalf("second data row is %q, want core 20", lines[2])
+	}
+	if f := strings.Fields(lines[3]); f[0] != "all" {
+		t.Fatalf("last row is %q, want totals", lines[3])
+	}
+	// Column alignment: every column is right-aligned, so field N ends at
+	// the same byte offset on every line.
+	ends := fieldEnds(lines[0])
+	if len(ends) != 7 {
+		t.Fatalf("header has %d columns, want 7:\n%s", len(ends), out)
+	}
+	for ri, row := range lines[1:] {
+		re := fieldEnds(row)
+		if len(re) != len(ends) {
+			t.Fatalf("row %d has %d columns, want %d:\n%s", ri, len(re), len(ends), out)
+		}
+		for ci := range ends {
+			if re[ci] != ends[ci] {
+				t.Errorf("row %d column %d ends at %d, header at %d — misaligned:\n%s",
+					ri, ci, re[ci], ends[ci], out)
+			}
+		}
+	}
+}
+
+// fieldEnds returns the byte offset just past each whitespace-separated
+// field of line.
+func fieldEnds(line string) []int {
+	var ends []int
+	in := false
+	for i, r := range line {
+		if r == ' ' || r == '\t' {
+			if in {
+				ends = append(ends, i)
+				in = false
+			}
+		} else {
+			in = true
+		}
+	}
+	if in {
+		ends = append(ends, len(line))
+	}
+	return ends
+}
+
+func TestWriteTableEmpty(t *testing.T) {
+	r := &Report{Workers: map[int]*WorkerStats{}}
+	out := r.String()
+	if !strings.Contains(out, "core") || !strings.Contains(out, "all") {
+		t.Fatalf("empty report table malformed:\n%s", out)
+	}
+}

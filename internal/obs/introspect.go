@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WorkerIntrospection is one worker's state as an estimator saw it at a
+// quantum boundary, including the classification Palirria's Diaspora
+// Malleability Conditions assigned to it.
+type WorkerIntrospection struct {
+	// Worker is the core id.
+	Worker int `json:"worker"`
+	// Class is the DVS region: "X" (boundary increase set), "Z"
+	// (outermost decrease set), "XZ" (both, on minimal allotments), "F"
+	// (inner filling), or "" when the estimator has no classification
+	// (ASTEAL).
+	Class string `json:"class,omitempty"`
+	// QueueLen is µ(Q) at the boundary; MaxQueueLen its high-water mark
+	// over the ending quantum.
+	QueueLen    int `json:"queue_len"`
+	MaxQueueLen int `json:"max_queue_len"`
+	// ThresholdL is the DMC threshold L_i = µ(O_i)+offset for X workers
+	// (0 otherwise).
+	ThresholdL int `json:"threshold_l,omitempty"`
+	// Busy reports a task in execution at the boundary; Draining a
+	// removed worker finishing its queue.
+	Busy     bool `json:"busy"`
+	Draining bool `json:"draining,omitempty"`
+	// WastedCycles is the quantum's wasted work under ASTEAL's definition
+	// (probing, backoff, successful-steal transfer).
+	WastedCycles int64 `json:"wasted_cycles"`
+}
+
+// EstimatorSnapshot is one quantum's complete estimation record: what the
+// estimator saw, what it concluded, and what the system granted.
+type EstimatorSnapshot struct {
+	// Time of the quantum boundary, in ticks.
+	Time int64 `json:"time"`
+	// Job labels the application (multiprogrammed runs).
+	Job string `json:"job,omitempty"`
+	// Estimator names the deciding estimator ("palirria", "asteal").
+	Estimator string `json:"estimator"`
+	// Allotment is the granted size the estimator observed.
+	Allotment int `json:"allotment"`
+	// Decision is the coarse direction ("increase", "keep", "decrease").
+	Decision string `json:"decision"`
+	// RawDesire is the estimator's unfiltered answer; FilteredDesire what
+	// the false-positive filter forwarded to the system layer.
+	RawDesire      int `json:"raw_desire"`
+	FilteredDesire int `json:"filtered_desire"`
+	// Granted is the allotment size the system layer actually provided
+	// for the next quantum.
+	Granted int `json:"granted"`
+	// Workers is the per-worker view (DMC inputs, classes, thresholds).
+	Workers []WorkerIntrospection `json:"workers,omitempty"`
+	// Inputs carries estimator-specific scalar inputs: ASTEAL records
+	// wasted/total cycles, its efficiency and satisfaction verdicts
+	// (0/1), and the real-valued desire; Palirria records the X and Z
+	// set sizes it inspected.
+	Inputs map[string]float64 `json:"inputs,omitempty"`
+}
+
+// WriteSnapshotsJSON dumps estimator snapshots as an indented JSON array
+// — the "why did the allotment change" record of a run.
+func WriteSnapshotsJSON(w io.Writer, snaps []EstimatorSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
+}

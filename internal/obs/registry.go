@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one Prometheus label pair attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind is the Prometheus TYPE of a metric family.
+type metricKind string
+
+const (
+	kindCounter metricKind = "counter"
+	kindGauge   metricKind = "gauge"
+)
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels string // preformatted {k="v",...} or ""
+	value  func() float64
+}
+
+// Registry is a minimal dependency-free metric registry that renders
+// Prometheus text exposition format. Registration happens at setup time;
+// reads (scrapes) take the mutex only to copy the metric list — values
+// themselves are atomics or caller-supplied sampling functions.
+type Registry struct {
+	mu sync.Mutex
+	ms []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(l.Value)
+		parts[i] = l.Key + `="` + v + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	r.ms = append(r.ms, m)
+	r.mu.Unlock()
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter,
+		labels: formatLabels(labels), value: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// Gauge registers and returns a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge,
+		labels: formatLabels(labels), value: g.Value})
+	return g
+}
+
+// GaugeFunc registers a gauge sampled by fn at scrape time — the natural
+// shape for values the runtime already maintains atomically.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&metric{name: name, help: help, kind: kindGauge,
+		labels: formatLabels(labels), value: fn})
+}
+
+// CounterFunc registers a counter sampled by fn at scrape time (for
+// monotonic values owned elsewhere, e.g. per-worker steal counts).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&metric{name: name, help: help, kind: kindCounter,
+		labels: formatLabels(labels), value: fn})
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format, grouped into families with one HELP/TYPE header
+// each.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.ms...)
+	r.mu.Unlock()
+
+	// Group by family, keeping first-registration order inside and across
+	// families for stable output.
+	order := []string{}
+	families := map[string][]*metric{}
+	for _, m := range ms {
+		if _, ok := families[m.name]; !ok {
+			order = append(order, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		fam := families[name]
+		if fam[0].help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, fam[0].help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, fam[0].kind)
+		for _, m := range fam {
+			v := m.value()
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, int64(v))
+			} else {
+				fmt.Fprintf(w, "%s%s %g\n", m.name, m.labels, v)
+			}
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("palirria_steals_total", "Successful steals.")
+	c.Add(41)
+	c.Inc()
+	g := reg.Gauge("palirria_allotment_workers", "Current allotment size.")
+	g.Set(9)
+	reg.GaugeFunc("palirria_worker_queue_len", "Queue length.",
+		func() float64 { return 3 }, Label{"core", "5"})
+	reg.GaugeFunc("palirria_worker_queue_len", "Queue length.",
+		func() float64 { return 0 }, Label{"core", "6"})
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP palirria_steals_total Successful steals.",
+		"# TYPE palirria_steals_total counter",
+		"palirria_steals_total 42",
+		"# TYPE palirria_allotment_workers gauge",
+		"palirria_allotment_workers 9",
+		`palirria_worker_queue_len{core="5"} 3`,
+		`palirria_worker_queue_len{core="6"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with several series.
+	if n := strings.Count(out, "# TYPE palirria_worker_queue_len"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("m", "", func() float64 { return 1 },
+		Label{"l", `a"b\c` + "\nd"})
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `l="a\"b\\c\nd"`) {
+		t.Fatalf("labels not escaped: %s", buf.String())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestGaugeFloat(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "")
+	g.Set(1.5)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "g 1.5") {
+		t.Fatalf("float gauge rendered wrong: %s", buf.String())
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a bounded event buffer with exactly one producer. Two modes:
+//
+//   - drop-newest (default): Emit on a full ring discards the event and
+//     counts it. The producer and a single concurrent consumer (Drain)
+//     synchronize only through the head and tail atomics, so emission is
+//     lock-free and race-free — the mode both runtimes use while workers
+//     are live.
+//   - overwrite (keep-newest): Emit on a full ring advances the tail,
+//     evicting the oldest event. Overwriting makes the producer touch the
+//     consumer's index, so this mode is only safe when emission and
+//     draining never overlap — the single-threaded simulator drains after
+//     the run completes.
+//
+// The capacity is rounded up to a power of two so indices wrap with a
+// mask.
+type Ring struct {
+	buf  []Event
+	mask int64
+
+	head    atomic.Int64 // next slot to write (producer-owned)
+	tail    atomic.Int64 // next slot to read (consumer-owned)
+	dropped atomic.Int64
+
+	overwrite bool
+}
+
+func newRing(capacity int, overwrite bool) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]Event, n), mask: int64(n - 1), overwrite: overwrite}
+}
+
+// Emit records one event. Producer-only.
+func (r *Ring) Emit(ev Event) {
+	h := r.head.Load()
+	if h-r.tail.Load() == int64(len(r.buf)) {
+		if !r.overwrite {
+			r.dropped.Add(1)
+			return
+		}
+		// Keep-newest: evict the oldest. Only valid without a concurrent
+		// consumer (see type comment).
+		r.tail.Add(1)
+	}
+	r.buf[h&r.mask] = ev
+	r.head.Store(h + 1)
+}
+
+// Drain consumes every pending event in order. Consumer-only; safe
+// concurrently with Emit in drop-newest mode.
+func (r *Ring) Drain(fn func(Event)) {
+	t := r.tail.Load()
+	h := r.head.Load()
+	for ; t < h; t++ {
+		fn(r.buf[t&r.mask])
+	}
+	r.tail.Store(t)
+}
+
+// Len reports the number of pending events.
+func (r *Ring) Len() int { return int(r.head.Load() - r.tail.Load()) }
+
+// Dropped reports how many events were discarded on a full ring.
+func (r *Ring) Dropped() int64 { return r.dropped.Load() }

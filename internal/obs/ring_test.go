@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBasic(t *testing.T) {
+	r := newRing(8, false)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{TS: int64(i), Kind: KindSpawn, Worker: 1})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	var got []Event
+	r.Drain(func(ev Event) { got = append(got, ev) })
+	if len(got) != 5 {
+		t.Fatalf("drained %d, want 5", len(got))
+	}
+	for i, ev := range got {
+		if ev.TS != int64(i) {
+			t.Fatalf("event %d has TS %d", i, ev.TS)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d", r.Len())
+	}
+}
+
+func TestRingDropNewest(t *testing.T) {
+	r := newRing(4, false)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{TS: int64(i)})
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	var got []Event
+	r.Drain(func(ev Event) { got = append(got, ev) })
+	// Drop-newest keeps the oldest events.
+	if len(got) != 4 || got[0].TS != 0 || got[3].TS != 3 {
+		t.Fatalf("kept wrong events: %+v", got)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := newRing(4, true)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{TS: int64(i)})
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 in overwrite mode", r.Dropped())
+	}
+	var got []Event
+	r.Drain(func(ev Event) { got = append(got, ev) })
+	// Overwrite keeps the newest events.
+	if len(got) != 4 || got[0].TS != 6 || got[3].TS != 9 {
+		t.Fatalf("kept wrong events: %+v", got)
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	r := newRing(5, false)
+	if len(r.buf) != 8 {
+		t.Fatalf("capacity = %d, want 8", len(r.buf))
+	}
+	r = newRing(0, false)
+	if len(r.buf) != 2 {
+		t.Fatalf("capacity = %d, want 2", len(r.buf))
+	}
+}
+
+// TestTracerConcurrentStress is the -race stress test of the ISSUE: N
+// producers each own a ring and emit while a consumer goroutine drains
+// the tracer continuously. Every event that is not reported dropped must
+// be observed exactly once, unscrambled.
+func TestTracerConcurrentStress(t *testing.T) {
+	const (
+		workers       = 8
+		perWorker     = 20000
+		smallRingSize = 256 // force drops to exercise the full protocol
+	)
+	tr := NewTracer(WithRingCap(smallRingSize))
+	rings := make([]*Ring, workers)
+	for i := range rings {
+		rings[i] = tr.NewRing(false)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	type seen struct {
+		sync.Mutex
+		byWorker [workers][]int64
+	}
+	var s seen
+	collect := func(d *TraceData) {
+		s.Lock()
+		defer s.Unlock()
+		for _, ev := range d.Events {
+			s.byWorker[ev.Worker] = append(s.byWorker[ev.Worker], ev.Arg)
+		}
+	}
+
+	// Consumer: drain in a tight loop until producers finish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				collect(tr.Drain())
+				return
+			default:
+				collect(tr.Drain())
+			}
+		}
+	}()
+
+	var pwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			r := rings[w]
+			for i := 0; i < perWorker; i++ {
+				r.Emit(Event{TS: int64(i), Kind: Kind(i % int(NumKinds)),
+					Worker: int32(w), Arg: int64(i)})
+			}
+		}(w)
+	}
+	pwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	var dropped int64
+	for _, r := range rings {
+		dropped += r.Dropped()
+	}
+	var received int64
+	for w := 0; w < workers; w++ {
+		args := s.byWorker[w]
+		received += int64(len(args))
+		// Per-ring order must be preserved and free of duplicates: args
+		// are the emission sequence, so they must be strictly increasing.
+		for i := 1; i < len(args); i++ {
+			if args[i] <= args[i-1] {
+				t.Fatalf("worker %d: out-of-order or duplicated event: %d after %d",
+					w, args[i], args[i-1])
+			}
+		}
+	}
+	if got, want := received+dropped, int64(workers*perWorker); got != want {
+		t.Fatalf("received %d + dropped %d = %d, want %d", received, dropped, got, want)
+	}
+	if received == 0 {
+		t.Fatal("consumer observed no events")
+	}
+}
+
+func TestTracerDrainMerges(t *testing.T) {
+	tr := NewTracer(WithRingCap(16))
+	a := tr.NewRing(false)
+	b := tr.NewRing(false)
+	a.Emit(Event{TS: 10, Worker: 0})
+	b.Emit(Event{TS: 5, Worker: 1})
+	a.Emit(Event{TS: 20, Worker: 0})
+	b.Emit(Event{TS: 15, Worker: 1})
+	d := tr.Drain()
+	if len(d.Events) != 4 {
+		t.Fatalf("drained %d events, want 4", len(d.Events))
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].TS < d.Events[i-1].TS {
+			t.Fatalf("events not time-ordered: %+v", d.Events)
+		}
+	}
+}
+
+func TestTracerSnapshots(t *testing.T) {
+	tr := NewTracer()
+	tr.RecordSnapshot(EstimatorSnapshot{Time: 1, Estimator: "palirria"})
+	tr.RecordSnapshot(EstimatorSnapshot{Time: 2, Estimator: "palirria"})
+	if got := tr.Snapshots(); len(got) != 2 || got[1].Time != 2 {
+		t.Fatalf("Snapshots = %+v", got)
+	}
+	// Drain includes them too.
+	if d := tr.Drain(); len(d.Snapshots) != 2 {
+		t.Fatalf("Drain snapshots = %d, want 2", len(d.Snapshots))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Fatalf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if s := Kind(200).String(); s != "Kind(200)" {
+		t.Fatalf("unknown kind = %q", s)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"palirria/internal/core"
 	"palirria/internal/dvs"
 	"palirria/internal/metrics"
+	"palirria/internal/obs"
 	"palirria/internal/sysched"
 	"palirria/internal/task"
 	"palirria/internal/topo"
@@ -55,8 +56,16 @@ type Config struct {
 	MaxCycles int64
 
 	// TraceCap enables the scheduler event trace, keeping the newest
-	// TraceCap events (0 disables tracing).
+	// TraceCap events (0 disables tracing unless Observe or Introspect is
+	// set).
 	TraceCap int
+	// Observe enables full observability: the run returns a drained
+	// obs.TraceData ready for Chrome trace export. When TraceCap is 0 the
+	// ring capacity defaults to 1<<16 events.
+	Observe bool
+	// Introspect additionally records a per-quantum obs.EstimatorSnapshot
+	// (DMC worker classification, raw vs. filtered desire, grants).
+	Introspect bool
 }
 
 // Result is the outcome of a single-application run.
@@ -73,8 +82,14 @@ type Result struct {
 	FinalAllotment *topo.Allotment
 	// Events counts processed simulator events (engine health metric).
 	Events int64
-	// Trace holds the newest scheduler events when Config.TraceCap > 0.
+	// Trace holds the newest scheduler events when tracing was enabled.
 	Trace []TraceEvent
+	// Obs is the drained observability trace (nil unless tracing was
+	// enabled); feed it to obs.WriteChrome for a Perfetto-loadable file.
+	Obs *obs.TraceData
+	// EstimatorTrace holds the per-quantum estimator introspection
+	// snapshots (Config.Introspect).
+	EstimatorTrace []obs.EstimatorSnapshot
 }
 
 // Report converts the result to the metrics aggregate.
@@ -127,6 +142,12 @@ type MultiConfig struct {
 	NoFilter       bool
 	Quantum        int64
 	MaxCycles      int64
+
+	// TraceCap, Observe and Introspect mirror Config's observability
+	// knobs for multiprogrammed runs.
+	TraceCap   int
+	Observe    bool
+	Introspect bool
 }
 
 // JobResult is one job's outcome within a multiprogrammed run.
@@ -155,6 +176,12 @@ type MultiResult struct {
 	MakespanCycles int64
 	// Events counts processed simulator events.
 	Events int64
+	// Obs is the drained observability trace (nil unless tracing was
+	// enabled).
+	Obs *obs.TraceData
+	// EstimatorTrace holds per-quantum introspection snapshots across all
+	// jobs (MultiConfig.Introspect); the Job field tells them apart.
+	EstimatorTrace []obs.EstimatorSnapshot
 }
 
 // event is one scheduled worker activation. Each worker has at most one
@@ -242,10 +269,25 @@ type engine struct {
 	// consuming memory bandwidth in the NUMA model's ComputeFactor.
 	busy int
 
-	// tracer records scheduler events when enabled.
-	tracer *traceRing
+	// tracer and ring record scheduler events when enabled; introspect
+	// additionally records per-quantum estimator snapshots. The simulator
+	// is single-threaded, so one keep-newest ring serves every worker.
+	tracer     *obs.Tracer
+	ring       *obs.Ring
+	introspect bool
 
 	eventCount int64
+}
+
+// enableObs turns on event tracing (and optionally introspection) with the
+// legacy keep-newest semantics: the newest traceCap events survive.
+func (e *engine) enableObs(traceCap int, introspect bool) {
+	if traceCap <= 0 {
+		traceCap = 1 << 16
+	}
+	e.tracer = obs.NewTracer(obs.WithRingCap(traceCap))
+	e.ring = e.tracer.NewRing(true)
+	e.introspect = introspect
 }
 
 // Run executes a single-application configuration to completion.
@@ -259,8 +301,8 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.TraceCap > 0 {
-		e.tracer = newTraceRing(cfg.TraceCap)
+	if cfg.TraceCap > 0 || cfg.Observe || cfg.Introspect {
+		e.enableObs(cfg.TraceCap, cfg.Introspect)
 	}
 	if cfg.Root == nil {
 		return nil, fmt.Errorf("sim: nil root task")
@@ -308,7 +350,9 @@ func Run(cfg Config) (*Result, error) {
 		res.Workers[id] = &w.stats
 	}
 	if e.tracer != nil {
-		res.Trace = e.tracer.events()
+		res.Obs = e.tracer.Drain()
+		res.Trace = eventsFromObs(res.Obs.Events)
+		res.EstimatorTrace = res.Obs.Snapshots
 	}
 	return res, nil
 }
@@ -326,6 +370,9 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TraceCap > 0 || cfg.Observe || cfg.Introspect {
+		e.enableObs(cfg.TraceCap, cfg.Introspect)
 	}
 	e.arb = sysched.NewArbiter(cfg.Mesh)
 	for i, jc := range cfg.Jobs {
@@ -381,6 +428,10 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	}
 	for id, w := range e.workers {
 		out.Workers[id] = &w.stats
+	}
+	if e.tracer != nil {
+		out.Obs = e.tracer.Drain()
+		out.EstimatorTrace = out.Obs.Snapshots
 	}
 	return out, nil
 }
@@ -482,6 +533,9 @@ func (e *engine) newWorker(id topo.CoreID, j *jobState) *worker {
 		w = newWorker(e, id)
 		e.workers[id] = w
 		w.stats.JoinedAt = e.now
+		if e.tracer != nil {
+			e.tracer.SetWorkerName(int32(id), fmt.Sprintf("core %d", id))
+		}
 	}
 	w.job = j
 	w.retired = false
@@ -577,8 +631,9 @@ func (e *engine) quantumTick() {
 			continue
 		}
 		desired := j.granted.Size()
+		var snap *core.Snapshot
 		if j.ctrl != nil {
-			snap := e.snapshot(j)
+			snap = e.snapshot(j)
 			desired = j.ctrl.Step(snap)
 		} else if j.fixed > 0 {
 			desired = j.fixed
@@ -600,6 +655,14 @@ func (e *engine) quantumTick() {
 				Desired:   desired,
 				Granted:   next.Size(),
 			})
+			e.trace(TraceQuantum, j.source, topo.NoCore, desired, j.name)
+			// Every quantum, even unchanged: the ring keeps only the newest
+			// events, so the Chrome allotment counter needs samples inside
+			// whatever window survives a long run.
+			e.trace(TraceGrant, j.source, topo.NoCore, next.Size(), j.name)
+			if e.introspect {
+				e.tracer.RecordSnapshot(e.estimatorSnapshot(j, snap, prev.Size(), next.Size()))
+			}
 		}
 		if !changed {
 			continue
@@ -685,6 +748,44 @@ func (e *engine) snapshot(j *jobState) *core.Snapshot {
 		QuantumCycles: e.quantum,
 		Time:          e.now,
 	}
+}
+
+// estimatorSnapshot builds the per-quantum introspection record for job j:
+// the controller's raw and filtered desire plus, when the estimator
+// implements core.Introspector, its annotated per-worker view and scalar
+// inputs.
+func (e *engine) estimatorSnapshot(j *jobState, snap *core.Snapshot, prevSize, granted int) obs.EstimatorSnapshot {
+	info := j.ctrl.Last()
+	es := obs.EstimatorSnapshot{
+		Time:           e.now,
+		Job:            j.name,
+		Estimator:      j.ctrl.Est.Name(),
+		Allotment:      prevSize,
+		Decision:       core.DecisionOf(prevSize, info.Raw).String(),
+		RawDesire:      info.Raw,
+		FilteredDesire: info.Filtered,
+		Granted:        granted,
+	}
+	ip, ok := j.ctrl.Est.(core.Introspector)
+	if !ok {
+		return es
+	}
+	in := ip.Introspect(snap)
+	es.Decision = in.Decision.String()
+	es.Inputs = in.Inputs
+	for _, iw := range in.Workers {
+		es.Workers = append(es.Workers, obs.WorkerIntrospection{
+			Worker:       int(iw.ID),
+			Class:        iw.Class,
+			QueueLen:     iw.QueueLen,
+			MaxQueueLen:  iw.MaxQueueLen,
+			ThresholdL:   iw.ThresholdL,
+			Busy:         iw.Busy,
+			Draining:     iw.Draining,
+			WastedCycles: iw.WastedCycles,
+		})
+	}
+	return es
 }
 
 // finishJob records job completion and releases its resources.

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"io"
 
+	"palirria/internal/obs"
 	"palirria/internal/topo"
 )
 
-// TraceKind classifies a scheduler trace event.
+// TraceKind classifies a scheduler trace event. It mirrors obs.Kind; the
+// simulator keeps its own type so existing callers stay source-compatible
+// with topo.CoreID worker fields.
 type TraceKind uint8
 
 const (
@@ -19,11 +22,60 @@ const (
 	TraceTaskDone
 	// TraceBlock: a worker blocked at the sync of a stolen child.
 	TraceBlock
-	// TraceGrant: a job's allotment changed.
+	// TraceGrant: a job's per-quantum allotment grant (possibly
+	// unchanged in size).
 	TraceGrant
 	// TraceRetire: a draining worker exited.
 	TraceRetire
+	// TraceProbeFail: a steal probe found nothing stealable at the victim.
+	TraceProbeFail
+	// TraceQuantum: an estimation quantum boundary.
+	TraceQuantum
 )
+
+// obsKind maps the simulator kind onto the shared observability kind.
+func (k TraceKind) obsKind() obs.Kind {
+	switch k {
+	case TraceSpawn:
+		return obs.KindSpawn
+	case TraceSteal:
+		return obs.KindSteal
+	case TraceTaskDone:
+		return obs.KindTaskDone
+	case TraceBlock:
+		return obs.KindBlock
+	case TraceGrant:
+		return obs.KindGrant
+	case TraceRetire:
+		return obs.KindRetire
+	case TraceProbeFail:
+		return obs.KindProbeFail
+	case TraceQuantum:
+		return obs.KindQuantum
+	}
+	return obs.NumKinds
+}
+
+// kindFromObs is the inverse of obsKind.
+func kindFromObs(k obs.Kind) TraceKind {
+	switch k {
+	case obs.KindSpawn:
+		return TraceSpawn
+	case obs.KindSteal:
+		return TraceSteal
+	case obs.KindTaskDone:
+		return TraceTaskDone
+	case obs.KindBlock:
+		return TraceBlock
+	case obs.KindGrant:
+		return TraceGrant
+	case obs.KindRetire:
+		return TraceRetire
+	case obs.KindProbeFail:
+		return TraceProbeFail
+	}
+	return TraceQuantum
+}
 
 // String names the kind.
 func (k TraceKind) String() string {
@@ -40,6 +92,10 @@ func (k TraceKind) String() string {
 		return "grant"
 	case TraceRetire:
 		return "retire"
+	case TraceProbeFail:
+		return "probefail"
+	case TraceQuantum:
+		return "quantum"
 	}
 	return fmt.Sprintf("TraceKind(%d)", uint8(k))
 }
@@ -52,10 +108,11 @@ type TraceEvent struct {
 	Kind TraceKind
 	// Worker is the acting worker (thief for steals).
 	Worker topo.CoreID
-	// Peer is the other party (victim for steals; NoCore otherwise).
+	// Peer is the other party (victim for steals and probes; NoCore
+	// otherwise).
 	Peer topo.CoreID
 	// Arg carries kind-specific data (queue length after a spawn, new
-	// allotment size for grants).
+	// allotment size for grants, desired workers at quantum boundaries).
 	Arg int
 	// Label is the task label where applicable.
 	Label string
@@ -66,49 +123,63 @@ func (ev TraceEvent) String() string {
 	switch ev.Kind {
 	case TraceSteal:
 		return fmt.Sprintf("%12d  %-6s w%-3d <- w%-3d %s", ev.Time, ev.Kind, ev.Worker, ev.Peer, ev.Label)
+	case TraceProbeFail:
+		return fmt.Sprintf("%12d  %-9s w%-3d -> w%-3d", ev.Time, ev.Kind, ev.Worker, ev.Peer)
 	case TraceGrant:
 		return fmt.Sprintf("%12d  %-6s %d workers", ev.Time, ev.Kind, ev.Arg)
+	case TraceQuantum:
+		return fmt.Sprintf("%12d  %-7s %d desired", ev.Time, ev.Kind, ev.Arg)
 	default:
 		return fmt.Sprintf("%12d  %-6s w%-3d %s", ev.Time, ev.Kind, ev.Worker, ev.Label)
 	}
 }
 
-// traceRing is a bounded event recorder: the newest cap events win.
-type traceRing struct {
-	buf   []TraceEvent
-	next  int
-	total int
-}
-
-func newTraceRing(cap int) *traceRing {
-	return &traceRing{buf: make([]TraceEvent, 0, cap)}
-}
-
-func (r *traceRing) add(ev TraceEvent) {
-	r.total++
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, ev)
-		return
+// obsCore converts a topology core id to the observability worker id.
+func obsCore(id topo.CoreID) int32 {
+	if id == topo.NoCore {
+		return obs.NoWorker
 	}
-	r.buf[r.next] = ev
-	r.next = (r.next + 1) % len(r.buf)
+	return int32(id)
 }
 
-// events returns the recorded events in chronological order.
-func (r *traceRing) events() []TraceEvent {
-	out := make([]TraceEvent, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
+// coreFromObs is the inverse of obsCore.
+func coreFromObs(w int32) topo.CoreID {
+	if w == obs.NoWorker {
+		return topo.NoCore
+	}
+	return topo.CoreID(w)
+}
+
+// eventsFromObs converts a drained observability event stream back to the
+// simulator's trace representation (for Result.Trace).
+func eventsFromObs(events []obs.Event) []TraceEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		out[i] = TraceEvent{
+			Time:   ev.TS,
+			Kind:   kindFromObs(ev.Kind),
+			Worker: coreFromObs(ev.Worker),
+			Peer:   coreFromObs(ev.Peer),
+			Arg:    int(ev.Arg),
+			Label:  ev.Label,
+		}
+	}
 	return out
 }
 
-// trace records an event if tracing is enabled.
+// trace records an event if tracing is enabled. The disabled fast path is
+// one nil comparison.
 func (e *engine) trace(kind TraceKind, w, peer topo.CoreID, arg int, label string) {
-	if e.tracer == nil {
+	if e.ring == nil {
 		return
 	}
-	e.tracer.add(TraceEvent{
-		Time: e.now, Kind: kind, Worker: w, Peer: peer, Arg: arg, Label: label,
+	e.ring.Emit(obs.Event{
+		TS: e.now, Kind: kind.obsKind(),
+		Worker: obsCore(w), Peer: obsCore(peer),
+		Arg: int64(arg), Label: label,
 	})
 }
 

@@ -373,6 +373,7 @@ func (w *worker) stepSteal() {
 	cost := e.costs.Probe + e.machine.ProbePenalty(w.id, victim)
 	w.stats.FailedProbes++
 	w.stats.Add(metrics.ProbeFail, cost)
+	e.trace(TraceProbeFail, w.id, victim, 0, "")
 	w.vIdx++
 	if w.vIdx >= len(w.victims) {
 		// Round exhausted: back off exponentially, then retry.

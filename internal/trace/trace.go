@@ -3,7 +3,10 @@
 // of the estimators.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Point is one step of the allotment-size timeline.
 type Point struct {
@@ -36,20 +39,21 @@ func (tl *Timeline) Record(t int64, workers int) {
 	tl.points = append(tl.points, Point{Time: t, Workers: workers})
 }
 
-// Points returns the recorded steps. The slice is shared; do not modify.
-func (tl *Timeline) Points() []Point { return tl.points }
+// Points returns a copy of the recorded steps; callers may modify it
+// freely.
+func (tl *Timeline) Points() []Point {
+	return append([]Point(nil), tl.points...)
+}
 
 // At returns the worker count in effect at time t (0 before the first
-// record).
+// record). Points are time-sorted, so this is a binary search.
 func (tl *Timeline) At(t int64) int {
-	w := 0
-	for _, p := range tl.points {
-		if p.Time > t {
-			break
-		}
-		w = p.Workers
+	// First point strictly after t; the one before it is in effect.
+	i := sort.Search(len(tl.points), func(i int) bool { return tl.points[i].Time > t })
+	if i == 0 {
+		return 0
 	}
-	return w
+	return tl.points[i-1].Workers
 }
 
 // Max returns the peak worker count.
@@ -101,8 +105,11 @@ type Log struct {
 // Add appends a decision.
 func (l *Log) Add(d Decision) { l.decisions = append(l.decisions, d) }
 
-// Decisions returns the recorded decisions. The slice is shared.
-func (l *Log) Decisions() []Decision { return l.decisions }
+// Decisions returns a copy of the recorded decisions; callers may modify
+// it freely.
+func (l *Log) Decisions() []Decision {
+	return append([]Decision(nil), l.decisions...)
+}
 
 // Changes counts the decisions whose grant differed from the previous one.
 func (l *Log) Changes() int {

@@ -117,3 +117,50 @@ func TestTimelineEmpty(t *testing.T) {
 		t.Fatal("empty timeline must be all zeros")
 	}
 }
+
+func TestPointsDefensiveCopy(t *testing.T) {
+	var tl Timeline
+	tl.Record(0, 5)
+	tl.Record(100, 12)
+	pts := tl.Points()
+	pts[0].Workers = 999
+	if got := tl.At(0); got != 5 {
+		t.Fatalf("mutating Points() leaked into the timeline: At(0) = %d", got)
+	}
+	if &pts[0] == &tl.Points()[0] {
+		t.Fatal("Points() returned the internal slice")
+	}
+}
+
+func TestDecisionsDefensiveCopy(t *testing.T) {
+	var l Log
+	l.Add(Decision{Time: 1, Desired: 5, Granted: 5})
+	ds := l.Decisions()
+	ds[0].Granted = 999
+	if got := l.Decisions()[0].Granted; got != 5 {
+		t.Fatalf("mutating Decisions() leaked into the log: %d", got)
+	}
+}
+
+func TestAtMatchesLinearScan(t *testing.T) {
+	linear := func(tl *Timeline, at int64) int {
+		w := 0
+		for _, p := range tl.Points() {
+			if p.Time > at {
+				break
+			}
+			w = p.Workers
+		}
+		return w
+	}
+	var tl Timeline
+	times := []int64{0, 3, 7, 20, 21, 50, 1000}
+	for i, tm := range times {
+		tl.Record(tm, (i%4)+1)
+	}
+	for at := int64(-2); at < 1010; at++ {
+		if got, want := tl.At(at), linear(&tl, at); got != want {
+			t.Fatalf("At(%d) = %d, linear scan says %d", at, got, want)
+		}
+	}
+}

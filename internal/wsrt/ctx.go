@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"palirria/internal/obs"
 	"palirria/internal/task"
 )
 
@@ -34,9 +35,11 @@ func (c *Ctx) Worker() int { return int(c.w.id) }
 func (c *Ctx) Spawn(fn Func) {
 	t := &rtTask{fn: fn}
 	if c.w.deque.PushBottom(t) {
-		if n := int32(c.w.deque.Len()); n > c.w.hwm.Load() {
+		n := int32(c.w.deque.Len())
+		if n > c.w.hwm.Load() {
 			c.w.hwm.Store(n)
 		}
+		c.w.emit(obs.KindSpawn, obs.NoWorker, int64(n))
 	} else {
 		c.w.runTask(t)
 	}

@@ -1,0 +1,134 @@
+package wsrt
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"palirria/internal/core"
+	"palirria/internal/obs"
+)
+
+// fanRoot is a bursty workload long enough to span several quanta.
+func fanRoot(c *Ctx) {
+	var fan func(c *Ctx, n int)
+	fan = func(c *Ctx, n int) {
+		if n <= 1 {
+			c.Compute(100_000)
+			return
+		}
+		c.Spawn(func(cc *Ctx) { fan(cc, n/2) })
+		fan(c, n-n/2)
+		c.Sync()
+	}
+	for burst := 0; burst < 6; burst++ {
+		c.Compute(500_000)
+		fan(c, 64)
+	}
+}
+
+// TestRuntimeTracerAndMetrics drives the real runtime with the full
+// observability stack: structured tracing, estimator introspection, and
+// the Prometheus registry, and cross-checks them against the run report.
+func TestRuntimeTracerAndMetrics(t *testing.T) {
+	tracer := obs.NewTracer(obs.WithTicksPerMicro(1000))
+	reg := obs.NewRegistry()
+	rt, err := New(Config{
+		Mesh: smallMesh(t), Source: 0,
+		Estimator: core.NewPalirria(),
+		Quantum:   500 * time.Microsecond,
+		Tracer:    tracer, Introspect: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(fanRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := tracer.Drain()
+	if data.TicksPerMicro != 1000 {
+		t.Fatalf("TicksPerMicro = %v, want 1000", data.TicksPerMicro)
+	}
+	counts := data.Counts()
+	for _, k := range []obs.Kind{obs.KindSpawn, obs.KindTaskDone, obs.KindQuantum} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events recorded", k)
+		}
+	}
+	var totalSteals, totalTasks int64
+	for _, wr := range rep.Workers {
+		totalSteals += wr.Steals
+		totalTasks += wr.Tasks
+	}
+	if totalSteals > 0 && counts[obs.KindSteal] == 0 {
+		t.Error("report has steals but the trace recorded none")
+	}
+	// Rings drop under pressure, so the trace is a lower bound.
+	if got := counts[obs.KindTaskDone] + data.Dropped; got < totalTasks {
+		t.Errorf("done events (%d) + dropped (%d) < tasks run (%d)", counts[obs.KindTaskDone], data.Dropped, totalTasks)
+	}
+	if len(data.Snapshots) == 0 {
+		t.Fatal("no estimator snapshots recorded")
+	}
+	for _, es := range data.Snapshots {
+		if es.Estimator != "palirria" {
+			t.Fatalf("estimator = %q", es.Estimator)
+		}
+		if es.Allotment <= 0 {
+			t.Fatalf("bad snapshot %+v", es)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := data.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatal("chrome export missing traceEvents")
+	}
+
+	// Metrics: names present, values consistent with the report.
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+	out := prom.String()
+	for _, name := range []string{
+		"palirria_steals_total", "palirria_failed_probes_total",
+		"palirria_tasks_total", "palirria_quanta_total",
+		"palirria_allotment_workers",
+		"palirria_worker_useful_ns", "palirria_worker_search_ns",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metrics output missing %s:\n%s", name, out)
+		}
+	}
+	if want := fmt.Sprintf("palirria_tasks_total %d", totalTasks); !strings.Contains(out, want) {
+		t.Errorf("metrics output missing %q", want)
+	}
+	if want := fmt.Sprintf("palirria_steals_total %d", totalSteals); !strings.Contains(out, want) {
+		t.Errorf("metrics output missing %q", want)
+	}
+	if !strings.Contains(out, `palirria_worker_useful_ns{core="0"}`) {
+		t.Errorf("metrics output missing per-core series:\n%s", out)
+	}
+}
+
+// TestTracingDisabledByDefault pins the nil fast path: no Tracer, no
+// events, no metric registration side effects.
+func TestTracingDisabledByDefault(t *testing.T) {
+	rt, err := New(Config{Mesh: smallMesh(t), Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rt.workers {
+		if w.ring != nil {
+			t.Fatal("ring allocated without a tracer")
+		}
+	}
+	if _, err := rt.Run(func(c *Ctx) { c.Compute(1000) }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"palirria/internal/core"
 	"palirria/internal/deque"
 	"palirria/internal/dvs"
+	"palirria/internal/obs"
 	"palirria/internal/sysched"
 	"palirria/internal/topo"
 	"palirria/internal/trace"
@@ -62,6 +63,20 @@ type Config struct {
 	QueueCap int
 	// Pin locks workers to OS threads and, on Linux, sets CPU affinity.
 	Pin bool
+
+	// Tracer enables structured event tracing: every worker gets its own
+	// drop-newest ring (safe under concurrent draining). Create it with
+	// obs.NewTracer(obs.WithTicksPerMicro(1000)) — timestamps are wall
+	// nanoseconds relative to Run's start. Nil disables tracing; the
+	// disabled hot path is one nil comparison per event site.
+	Tracer *obs.Tracer
+	// Introspect records a per-quantum obs.EstimatorSnapshot into Tracer
+	// (requires Tracer and an Estimator).
+	Introspect bool
+	// Metrics registers the runtime's live counters and gauges (steals,
+	// failed probes, tasks, allotment size, per-worker useful/search time)
+	// on the registry; serve it with obs.Serve. Nil disables registration.
+	Metrics *obs.Registry
 }
 
 // WorkerReport is one worker's accounting, in nanoseconds where the
@@ -107,6 +122,12 @@ type Runtime struct {
 	decisions trace.Log
 	tlMu      sync.Mutex
 	startNS   int64
+
+	// helperRing carries the helper goroutine's grant/quantum events;
+	// allotSize and quanta back the live metrics gauges.
+	helperRing *obs.Ring
+	allotSize  atomic.Int64
+	quanta     atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -174,10 +195,54 @@ func New(cfg Config) (*Runtime, error) {
 		if r.mesh.Reserved(id) {
 			continue
 		}
-		r.workers[id] = newWorker(r, id)
+		w := newWorker(r, id)
+		if cfg.Tracer != nil {
+			w.ring = cfg.Tracer.NewRing(false)
+			cfg.Tracer.SetWorkerName(int32(id), fmt.Sprintf("core %d", id))
+		}
+		r.workers[id] = w
+	}
+	if cfg.Tracer != nil {
+		r.helperRing = cfg.Tracer.NewRing(false)
+	}
+	r.allotSize.Store(int64(mgr.Current().Size()))
+	if cfg.Metrics != nil {
+		r.registerMetrics(cfg.Metrics)
 	}
 	r.rebuildPolicy(mgr.Current())
 	return r, nil
+}
+
+// registerMetrics exposes the runtime's live state on reg. All values are
+// sampled from atomics at scrape time; registration happens once here.
+func (r *Runtime) registerMetrics(reg *obs.Registry) {
+	sum := func(f func(*worker) *int64) func() float64 {
+		return func() float64 {
+			var t int64
+			for _, w := range r.workers {
+				t += atomic.LoadInt64(f(w))
+			}
+			return float64(t)
+		}
+	}
+	reg.CounterFunc("palirria_steals_total", "Successful steals across all workers.",
+		sum(func(w *worker) *int64 { return &w.stats.Steals }))
+	reg.CounterFunc("palirria_failed_probes_total", "Steal probes that found nothing stealable.",
+		sum(func(w *worker) *int64 { return &w.stats.FailedProbes }))
+	reg.CounterFunc("palirria_tasks_total", "Tasks executed to completion.",
+		sum(func(w *worker) *int64 { return &w.stats.Tasks }))
+	reg.CounterFunc("palirria_quanta_total", "Estimation quanta processed.",
+		func() float64 { return float64(r.quanta.Load()) })
+	reg.GaugeFunc("palirria_allotment_workers", "Current allotment size.",
+		func() float64 { return float64(r.allotSize.Load()) })
+	for id, w := range r.workers {
+		w := w
+		lbl := obs.Label{Key: "core", Value: fmt.Sprint(id)}
+		reg.GaugeFunc("palirria_worker_useful_ns", "Nanoseconds spent executing tasks.",
+			func() float64 { return float64(atomic.LoadInt64(&w.stats.UsefulNS)) }, lbl)
+		reg.GaugeFunc("palirria_worker_search_ns", "Nanoseconds spent searching for work.",
+			func() float64 { return float64(atomic.LoadInt64(&w.stats.SearchNS)) }, lbl)
+	}
 }
 
 // rebuildPolicy installs victim lists over the resident set (granted plus
@@ -334,6 +399,25 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 			Desired:   desired,
 			Granted:   next.Size(),
 		})
+		r.quanta.Add(1)
+		r.allotSize.Store(int64(next.Size()))
+		if r.helperRing != nil {
+			ts := nowNS() - r.startNS
+			r.helperRing.Emit(obs.Event{
+				TS: ts, Kind: obs.KindQuantum,
+				Worker: obs.NoWorker, Peer: obs.NoWorker, Arg: int64(desired),
+			})
+			// Every quantum, even unchanged: ring buffers keep only the
+			// newest events, and the Chrome allotment counter track must
+			// have samples inside whatever window survives.
+			r.helperRing.Emit(obs.Event{
+				TS: ts, Kind: obs.KindGrant,
+				Worker: obs.NoWorker, Peer: obs.NoWorker, Arg: int64(next.Size()),
+			})
+			if r.cfg.Introspect {
+				r.cfg.Tracer.RecordSnapshot(r.estimatorSnapshot(snap, granted.Size(), next.Size()))
+			}
+		}
 		if !changed {
 			continue
 		}
@@ -361,6 +445,42 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 	}
 }
 
+// estimatorSnapshot builds the per-quantum introspection record: the
+// controller's raw and filtered desire plus the estimator's annotated view
+// when it implements core.Introspector.
+func (r *Runtime) estimatorSnapshot(snap *core.Snapshot, prevSize, granted int) obs.EstimatorSnapshot {
+	info := r.ctrl.Last()
+	es := obs.EstimatorSnapshot{
+		Time:           snap.Time,
+		Estimator:      r.ctrl.Est.Name(),
+		Allotment:      prevSize,
+		Decision:       core.DecisionOf(prevSize, info.Raw).String(),
+		RawDesire:      info.Raw,
+		FilteredDesire: info.Filtered,
+		Granted:        granted,
+	}
+	ip, ok := r.ctrl.Est.(core.Introspector)
+	if !ok {
+		return es
+	}
+	in := ip.Introspect(snap)
+	es.Decision = in.Decision.String()
+	es.Inputs = in.Inputs
+	for _, iw := range in.Workers {
+		es.Workers = append(es.Workers, obs.WorkerIntrospection{
+			Worker:       int(iw.ID),
+			Class:        iw.Class,
+			QueueLen:     iw.QueueLen,
+			MaxQueueLen:  iw.MaxQueueLen,
+			ThresholdL:   iw.ThresholdL,
+			Busy:         iw.Busy,
+			Draining:     iw.Draining,
+			WastedCycles: iw.WastedCycles,
+		})
+	}
+	return es
+}
+
 func nowNS() int64 { return time.Now().UnixNano() }
 
 // worker states.
@@ -386,7 +506,22 @@ type worker struct {
 	busy  atomic.Bool
 	depth int
 
+	// ring records structured events when tracing is enabled (nil
+	// otherwise). Only this worker's goroutine emits into it.
+	ring *obs.Ring
+
 	stats WorkerReport
+}
+
+// emit records one structured event. The disabled path is a nil check.
+func (w *worker) emit(k obs.Kind, peer int32, arg int64) {
+	if w.ring == nil {
+		return
+	}
+	w.ring.Emit(obs.Event{
+		TS: nowNS() - w.rt.startNS, Kind: k,
+		Worker: int32(w.id), Peer: peer, Arg: arg,
+	})
 }
 
 func newWorker(r *Runtime, id topo.CoreID) *worker {
@@ -450,7 +585,9 @@ func (w *worker) loop() {
 		}
 		if w.state.Load() == stateDraining {
 			// Removed and drained: park until revoked or stopped.
-			w.state.CompareAndSwap(stateDraining, stateParked)
+			if w.state.CompareAndSwap(stateDraining, stateParked) {
+				w.emit(obs.KindRetire, obs.NoWorker, 0)
+			}
 			continue
 		}
 		// Steal.
@@ -482,10 +619,12 @@ func (w *worker) stealOnce() bool {
 		if t, ok := vw.deque.StealTop(); ok {
 			atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
 			atomic.AddInt64(&w.stats.Steals, 1)
+			w.emit(obs.KindSteal, int32(v), 0)
 			w.runTask(t)
 			return true
 		}
 		atomic.AddInt64(&w.stats.FailedProbes, 1)
+		w.emit(obs.KindProbeFail, int32(v), 0)
 	}
 	atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
 	return false
@@ -504,6 +643,7 @@ func (w *worker) runTask(t *rtTask) {
 	t.done.Store(true)
 	atomic.AddInt64(&w.stats.UsefulNS, nowNS()-t0)
 	atomic.AddInt64(&w.stats.Tasks, 1)
+	w.emit(obs.KindTaskDone, obs.NoWorker, 0)
 	w.depth--
 	if w.depth == 0 {
 		w.busy.Store(false)

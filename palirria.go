@@ -38,6 +38,7 @@ import (
 	"palirria/internal/asteal"
 	"palirria/internal/core"
 	"palirria/internal/metrics"
+	"palirria/internal/obs"
 	"palirria/internal/plot"
 	"palirria/internal/saws"
 	"palirria/internal/sim"
@@ -83,6 +84,43 @@ type Snapshot = core.Snapshot
 
 // WorkerStats is the per-worker cycle accounting.
 type WorkerStats = metrics.WorkerStats
+
+// MetricsReport is the aggregated per-run accounting, with a shared table
+// renderer (String/WriteTable).
+type MetricsReport = metrics.Report
+
+// ObsTrace is a drained observability trace; its WriteChrome method emits
+// Chrome trace_event JSON for chrome://tracing and Perfetto.
+type ObsTrace = obs.TraceData
+
+// EstimatorSnapshot is one quantum's estimator introspection record.
+type EstimatorSnapshot = obs.EstimatorSnapshot
+
+// ObsTracer is the structured event tracer shared by both runtimes; see
+// NewObsTracer.
+type ObsTracer = obs.Tracer
+
+// ObsRegistry is the dependency-free metrics registry behind ServeObs.
+type ObsRegistry = obs.Registry
+
+// ObsServer is the live observability HTTP server returned by ServeObs.
+type ObsServer = obs.Server
+
+// NewObsTracer builds an event tracer for the real runtime
+// (RTConfig.Tracer). ticksPerMicro converts timestamps to microseconds in
+// Chrome exports: pass 1000 for the real runtime's nanosecond clocks.
+func NewObsTracer(ticksPerMicro float64) *ObsTracer {
+	return obs.NewTracer(obs.WithTicksPerMicro(ticksPerMicro))
+}
+
+// NewObsRegistry builds an empty metrics registry (RTConfig.Metrics).
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ServeObs starts the observability HTTP server (Prometheus /metrics,
+// expvar, pprof) on addr; see obs.Serve.
+func ServeObs(addr string, reg *ObsRegistry) (*ObsServer, error) {
+	return obs.Serve(addr, reg)
+}
 
 // Timeline is the allotment-size-over-time trace.
 type Timeline = trace.Timeline
@@ -255,6 +293,12 @@ type SimConfig struct {
 	Seed uint64
 	// TraceCap enables the scheduler event trace (0 = off).
 	TraceCap int
+	// Observe enables full observability: Report.Obs holds the drained
+	// trace, exportable as Chrome trace JSON.
+	Observe bool
+	// Introspect records per-quantum estimator snapshots into
+	// Report.EstimatorTrace.
+	Introspect bool
 }
 
 // Report is the high-level outcome of a run.
@@ -277,6 +321,13 @@ type Report struct {
 	Workers map[CoreID]*WorkerStats
 	// Trace holds scheduler events when SimConfig.TraceCap > 0.
 	Trace []SimTraceEvent
+	// Metrics is the aggregated accounting with the shared table renderer.
+	Metrics *MetricsReport
+	// Obs is the drained observability trace (SimConfig.Observe).
+	Obs *ObsTrace
+	// EstimatorTrace holds the per-quantum estimator introspection
+	// snapshots (SimConfig.Introspect).
+	EstimatorTrace []EstimatorSnapshot
 }
 
 // RunSim executes the high-level configuration on the simulator.
@@ -317,6 +368,8 @@ func RunSim(cfg SimConfig) (*Report, error) {
 		Quantum:     cfg.Quantum,
 		Seed:        cfg.Seed,
 		TraceCap:    cfg.TraceCap,
+		Observe:     cfg.Observe,
+		Introspect:  cfg.Introspect,
 	}
 	switch cfg.Scheduler {
 	case "wool":
@@ -354,6 +407,9 @@ func RunSim(cfg SimConfig) (*Report, error) {
 		Tasks:               rep.TotalTasks,
 		Timeline:            res.Timeline,
 		Workers:             res.Workers,
+		Metrics:             rep,
+		Obs:                 res.Obs,
+		EstimatorTrace:      res.EstimatorTrace,
 	}
 	out.Trace = res.Trace
 	if res.ExecCycles > 0 {
@@ -364,15 +420,16 @@ func RunSim(cfg SimConfig) (*Report, error) {
 
 // reportJSON is the serializable projection of a Report.
 type reportJSON struct {
-	ExecCycles          int64               `json:"exec_cycles"`
-	MaxWorkers          int                 `json:"max_workers"`
-	AvgWorkers          float64             `json:"avg_workers"`
-	WastefulnessPercent float64             `json:"wastefulness_percent"`
-	Steals              int64               `json:"steals"`
-	FailedProbes        int64               `json:"failed_probes"`
-	Tasks               int64               `json:"tasks"`
-	Timeline            []timelinePointJSON `json:"timeline"`
-	Workers             map[int]workerJSON  `json:"workers"`
+	ExecCycles          int64                   `json:"exec_cycles"`
+	MaxWorkers          int                     `json:"max_workers"`
+	AvgWorkers          float64                 `json:"avg_workers"`
+	WastefulnessPercent float64                 `json:"wastefulness_percent"`
+	Steals              int64                   `json:"steals"`
+	FailedProbes        int64                   `json:"failed_probes"`
+	Tasks               int64                   `json:"tasks"`
+	Timeline            []timelinePointJSON     `json:"timeline"`
+	Workers             map[int]workerJSON      `json:"workers"`
+	EstimatorTrace      []obs.EstimatorSnapshot `json:"estimator_trace,omitempty"`
 }
 
 type timelinePointJSON struct {
@@ -381,13 +438,15 @@ type timelinePointJSON struct {
 }
 
 type workerJSON struct {
-	Useful    int64 `json:"useful_cycles"`
-	Wasted    int64 `json:"wasted_cycles"`
-	Total     int64 `json:"total_cycles"`
-	Tasks     int64 `json:"tasks"`
-	Steals    int64 `json:"steals"`
-	JoinedAt  int64 `json:"joined_at"`
-	RetiredAt int64 `json:"retired_at"`
+	Useful       int64            `json:"useful_cycles"`
+	Wasted       int64            `json:"wasted_cycles"`
+	Total        int64            `json:"total_cycles"`
+	Tasks        int64            `json:"tasks"`
+	Steals       int64            `json:"steals"`
+	FailedProbes int64            `json:"failed_probes"`
+	JoinedAt     int64            `json:"joined_at"`
+	RetiredAt    int64            `json:"retired_at"`
+	Cycles       map[string]int64 `json:"cycles"`
 }
 
 // JSON serializes the report for downstream analysis tools.
@@ -406,16 +465,25 @@ func (r *Report) JSON() ([]byte, error) {
 		out.Timeline = append(out.Timeline, timelinePointJSON{Time: p.Time, Workers: p.Workers})
 	}
 	for id, ws := range r.Workers {
+		cycles := make(map[string]int64, metrics.NumCategories)
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			if v := ws.Cycles[c]; v != 0 {
+				cycles[c.String()] = v
+			}
+		}
 		out.Workers[int(id)] = workerJSON{
-			Useful:    ws.Useful(),
-			Wasted:    ws.Wasted(),
-			Total:     ws.Total(),
-			Tasks:     ws.TasksRun,
-			Steals:    ws.Steals,
-			JoinedAt:  ws.JoinedAt,
-			RetiredAt: ws.RetiredAt,
+			Useful:       ws.Useful(),
+			Wasted:       ws.Wasted(),
+			Total:        ws.Total(),
+			Tasks:        ws.TasksRun,
+			Steals:       ws.Steals,
+			FailedProbes: ws.FailedProbes,
+			JoinedAt:     ws.JoinedAt,
+			RetiredAt:    ws.RetiredAt,
+			Cycles:       cycles,
 		}
 	}
+	out.EstimatorTrace = r.EstimatorTrace
 	return json.MarshalIndent(out, "", "  ")
 }
 
