@@ -1,0 +1,172 @@
+// palirria-load is an open-loop load generator for palirria-serve: it
+// fires synthetic fork/join jobs at a configured arrival rate through a
+// sequence of waves, so the daemon's allotment can be watched growing in
+// bursts and shrinking in valleys.
+//
+// The wave pattern is a comma-separated list of name:rps:duration
+// segments, e.g.
+//
+//	palirria-load -target http://localhost:8077 \
+//	    -waves calm:50:1s,burst:400:1s,calm:50:1s
+//
+// Arrivals are open-loop (a ticker fires requests regardless of how many
+// are still outstanding), which is what makes overload and shedding
+// observable: a closed-loop client would slow down with the server. At
+// the end it prints per-class counts and latency percentiles; the exit
+// code is 0 when at least one job completed and nothing failed
+// unexpectedly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	target := flag.String("target", "http://localhost:8077", "palirria-serve base URL")
+	tenant := flag.String("tenant", "", "tenant to submit to (empty: server default)")
+	waves := flag.String("waves", "calm:50:1s,burst:300:1s,calm:50:1s", "arrival pattern: name:rps:duration,...")
+	fanout := flag.Int("fanout", 64, "leaves per job")
+	work := flag.Int("work", 20000, "synthetic cycles per leaf")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	ws, err := parseWaves(*waves)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-load:", err)
+		os.Exit(2)
+	}
+	res := run(*target, *tenant, ws, *fanout, *work, *timeout, os.Stdout)
+	res.print(os.Stdout)
+	if res.ok == 0 || res.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// wave is one segment of the arrival pattern.
+type wave struct {
+	name string
+	rps  int
+	dur  time.Duration
+}
+
+// parseWaves parses "name:rps:duration,..." into a wave sequence.
+func parseWaves(s string) ([]wave, error) {
+	var out []wave
+	for _, seg := range strings.Split(s, ",") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		parts := strings.Split(seg, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad wave %q: want name:rps:duration", seg)
+		}
+		rps, err := strconv.Atoi(parts[1])
+		if err != nil || rps < 1 {
+			return nil, fmt.Errorf("bad wave %q: rps %q", seg, parts[1])
+		}
+		dur, err := time.ParseDuration(parts[2])
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("bad wave %q: duration %q", seg, parts[2])
+		}
+		out = append(out, wave{name: parts[0], rps: rps, dur: dur})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty wave pattern %q", s)
+	}
+	return out, nil
+}
+
+// result accumulates the run's outcome counts and latencies.
+type result struct {
+	mu        sync.Mutex
+	ok        int64 // 200: job completed
+	shed      int64 // 429: queue full or load shed
+	unavail   int64 // 503: draining
+	failed    int64 // transport errors and unexpected statuses
+	latencies []time.Duration
+}
+
+func (r *result) record(status int, lat time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err != nil:
+		r.failed++
+	case status == http.StatusOK:
+		r.ok++
+		r.latencies = append(r.latencies, lat)
+	case status == http.StatusTooManyRequests:
+		r.shed++
+	case status == http.StatusServiceUnavailable:
+		r.unavail++
+	default:
+		r.failed++
+	}
+}
+
+func (r *result) print(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.ok + r.shed + r.unavail + r.failed
+	fmt.Fprintf(w, "\n%d requests: %d completed, %d shed (429), %d unavailable (503), %d failed\n",
+		total, r.ok, r.shed, r.unavail, r.failed)
+	if len(r.latencies) == 0 {
+		return
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(r.latencies)-1))
+		return r.latencies[i]
+	}
+	fmt.Fprintf(w, "latency p50=%s p90=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+}
+
+// run fires the wave sequence at target and waits for every outstanding
+// request before returning.
+func run(target, tenant string, waves []wave, fanout, work int, timeout time.Duration, log io.Writer) *result {
+	submitURL := fmt.Sprintf("%s/submit?fanout=%d&work=%d", strings.TrimRight(target, "/"), fanout, work)
+	if tenant != "" {
+		submitURL += "&tenant=" + url.QueryEscape(tenant)
+	}
+	client := &http.Client{Timeout: timeout}
+	res := &result{}
+	var wg sync.WaitGroup
+	for _, wv := range waves {
+		fmt.Fprintf(log, "wave %q: %d rps for %s\n", wv.name, wv.rps, wv.dur)
+		interval := time.Second / time.Duration(wv.rps)
+		ticker := time.NewTicker(interval)
+		end := time.Now().Add(wv.dur)
+		for time.Now().Before(end) {
+			<-ticker.C
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				resp, err := client.Post(submitURL, "", nil)
+				if err != nil {
+					res.record(0, 0, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				res.record(resp.StatusCode, time.Since(start), nil)
+			}()
+		}
+		ticker.Stop()
+	}
+	wg.Wait()
+	return res
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseWaves(t *testing.T) {
+	ws, err := parseWaves("calm:50:1s, burst:400:250ms ,calm:50:1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d waves", len(ws))
+	}
+	if ws[1].name != "burst" || ws[1].rps != 400 || ws[1].dur != 250*time.Millisecond {
+		t.Fatalf("wave[1] = %+v", ws[1])
+	}
+	for _, bad := range []string{
+		"", "calm", "calm:50", "calm:0:1s", "calm:x:1s", "calm:50:zz", "calm:50:-1s",
+	} {
+		if _, err := parseWaves(bad); err == nil {
+			t.Errorf("parseWaves(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunAgainstStub(t *testing.T) {
+	// A stub server that sheds every fourth request exercises the
+	// open-loop client and its outcome classification end to end.
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/submit" {
+			http.NotFound(w, r)
+			return
+		}
+		if n.Add(1)%4 == 0 {
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"tenant":"default"}`))
+	}))
+	defer ts.Close()
+
+	ws := []wave{{name: "t", rps: 200, dur: 100 * time.Millisecond}}
+	res := run(ts.URL, "web", ws, 8, 100, 2*time.Second, io.Discard)
+	total := res.ok + res.shed + res.unavail + res.failed
+	if total == 0 {
+		t.Fatal("no requests fired")
+	}
+	if res.ok == 0 || res.shed == 0 {
+		t.Fatalf("classification: ok=%d shed=%d (total %d)", res.ok, res.shed, total)
+	}
+	if res.failed != 0 || res.unavail != 0 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	if len(res.latencies) != int(res.ok) {
+		t.Fatalf("latencies %d != ok %d", len(res.latencies), res.ok)
+	}
+	res.print(io.Discard)
+}

@@ -1,0 +1,353 @@
+// palirria-serve is a long-lived serving daemon over persistent
+// work-stealing pools: the paper's motivating scenario (an on-line server
+// whose parallelism follows incoming load) as a runnable process.
+//
+// Each tenant is one serve.Pool keeping a resident runtime; jobs are
+// synthetic fork/join fans submitted over HTTP and executed synchronously.
+// With more than one tenant the pools share a machine model through
+// serve.Tenancy, and a re-arbitration loop redistributes worker shares by
+// live desire.
+//
+// Endpoints:
+//
+//	GET  /healthz                             liveness probe
+//	GET  /metrics                             Prometheus text format
+//	GET  /status                              pool stats + tenancy snapshot
+//	POST /submit?tenant=&fanout=&work=        run one job, reply when done
+//	POST /drain                               drain all pools, then exit 0
+//
+// Submit replies 200 on completion, 429 while the pool sheds load or its
+// admission queue is full, 503 once draining, and 400 on bad parameters.
+//
+// Usage:
+//
+//	palirria-serve -listen :8077 -mesh 4x4 -quantum 2ms
+//	palirria-serve -tenants web,batch -machine 8x4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"palirria/internal/obs"
+	"palirria/internal/serve"
+	"palirria/internal/topo"
+	"palirria/internal/wsrt"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.listen, "listen", ":8077", "HTTP listen address")
+	flag.StringVar(&opts.mesh, "mesh", "4x4", "per-pool worker mesh, e.g. 4x4 or 8x4")
+	flag.StringVar(&opts.tenants, "tenants", "default", "comma-separated pool names; more than one enables multi-tenant arbitration")
+	flag.StringVar(&opts.machine, "machine", "8x4", "arbitration mesh for multi-tenant mode")
+	flag.DurationVar(&opts.quantum, "quantum", 2*time.Millisecond, "estimation quantum")
+	flag.DurationVar(&opts.rearbitrate, "rearbitrate", 20*time.Millisecond, "re-arbitration period (multi-tenant mode)")
+	flag.IntVar(&opts.queueCap, "queue-cap", 128, "admission queue capacity per pool")
+	flag.IntVar(&opts.shedQuanta, "shed-quanta", 8, "pinned quanta before the shed latch arms")
+	flag.Parse()
+
+	s, err := newServer(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-serve:", err)
+		os.Exit(1)
+	}
+	lis, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-serve:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(lis) //nolint:errcheck // returns ErrServerClosed on Close
+	fmt.Printf("palirria-serve: listening on %s (%d tenant(s), mesh %s)\n",
+		lis.Addr(), len(s.pools), opts.mesh)
+
+	// The process lives until a successful POST /drain, then exits cleanly
+	// — every admitted job has completed and every allotment is released.
+	<-s.drained
+	srv.Close()
+	s.close()
+	fmt.Println("palirria-serve: drained, exiting")
+}
+
+type options struct {
+	listen      string
+	mesh        string
+	tenants     string
+	machine     string
+	quantum     time.Duration
+	rearbitrate time.Duration
+	queueCap    int
+	shedQuanta  int
+}
+
+// server owns the pools, the optional tenancy, and the shared metrics
+// registry. It is separated from main so tests can drive the HTTP surface
+// without a process.
+type server struct {
+	reg   *obs.Registry
+	names []string // tenant order, for stable /status output
+	pools map[string]*serve.Pool
+	ten   *serve.Tenancy // nil in single-tenant mode
+
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+func newServer(opts options) (*server, error) {
+	dims, err := parseMesh(opts.mesh)
+	if err != nil {
+		return nil, err
+	}
+	names := splitTenants(opts.tenants)
+	if len(names) == 0 {
+		return nil, errors.New("no tenants configured")
+	}
+	s := &server{
+		reg:     obs.NewRegistry(),
+		names:   names,
+		pools:   make(map[string]*serve.Pool, len(names)),
+		drained: make(chan struct{}),
+	}
+	for _, name := range names {
+		mesh, err := topo.NewMesh(dims...)
+		if err != nil {
+			return nil, err
+		}
+		p, err := serve.New(serve.Config{
+			Name: name,
+			Runtime: wsrt.Config{
+				Mesh:    mesh,
+				Quantum: opts.quantum,
+			},
+			QueueCap:   opts.queueCap,
+			ShedQuanta: opts.shedQuanta,
+			Metrics:    s.reg,
+		})
+		if err != nil {
+			s.close()
+			return nil, fmt.Errorf("pool %q: %w", name, err)
+		}
+		s.pools[name] = p
+	}
+	if len(names) > 1 {
+		mdims, err := parseMesh(opts.machine)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		machine, err := topo.NewMesh(mdims...)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		s.ten = serve.NewTenancy(machine, opts.rearbitrate)
+		// Spread the tenants' source cores across the machine so their
+		// seed zones do not collide.
+		usable := machine.Usable()
+		for i, name := range names {
+			src := topo.CoreID(i * usable / len(names))
+			if err := s.ten.Attach(s.pools[name], src); err != nil {
+				s.close()
+				return nil, fmt.Errorf("attach %q: %w", name, err)
+			}
+		}
+		s.ten.Start()
+	}
+	return s, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/drain", s.handleDrain)
+	return mux
+}
+
+// submitReply is the /submit response body.
+type submitReply struct {
+	Tenant    string `json:"tenant"`
+	Fanout    int    `json:"fanout"`
+	Work      int    `json:"work"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	tenant := q.Get("tenant")
+	if tenant == "" {
+		tenant = s.names[0]
+	}
+	p, ok := s.pools[tenant]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", tenant), http.StatusNotFound)
+		return
+	}
+	fanout, err := intParam(q.Get("fanout"), 64)
+	if err != nil || fanout < 1 || fanout > 1<<20 {
+		http.Error(w, "bad fanout", http.StatusBadRequest)
+		return
+	}
+	work, err := intParam(q.Get("work"), 20_000)
+	if err != nil || work < 0 || work > 1<<30 {
+		http.Error(w, "bad work", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	switch err := p.Submit(r.Context(), fanJob(fanout, work)); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, submitReply{
+			Tenant: tenant, Fanout: fanout, Work: work,
+			LatencyNS: time.Since(start).Nanoseconds(),
+		})
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrDiscarded):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default: // context cancellation: the client went away
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+	}
+}
+
+// statusReply is the /status response body.
+type statusReply struct {
+	Pools     []serve.Stats        `json:"pools"`
+	Tenants   []serve.TenantStatus `json:"tenants,omitempty"`
+	FreeCores int                  `json:"free_cores,omitempty"`
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var rep statusReply
+	for _, name := range s.names {
+		rep.Pools = append(rep.Pools, s.pools[name].Stats())
+	}
+	if s.ten != nil {
+		rep.Tenants = s.ten.Snapshot()
+		rep.FreeCores = s.ten.FreeCores()
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.names))
+	for i, name := range s.names {
+		wg.Add(1)
+		go func(i int, p *serve.Pool) {
+			defer wg.Done()
+			errs[i] = p.Drain(ctx)
+		}(i, s.pools[name])
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			http.Error(w, fmt.Sprintf("drain %q: %v", s.names[i], err),
+				http.StatusInternalServerError)
+			return
+		}
+	}
+	var rep statusReply
+	for _, name := range s.names {
+		rep.Pools = append(rep.Pools, s.pools[name].Stats())
+	}
+	writeJSON(w, http.StatusOK, rep)
+	s.drainOnce.Do(func() { close(s.drained) })
+}
+
+// close releases whatever newServer built; pools that never drained are
+// drained with a short grace period.
+func (s *server) close() {
+	if s.ten != nil {
+		s.ten.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, p := range s.pools {
+		p.Drain(ctx) //nolint:errcheck // best-effort teardown
+	}
+}
+
+// fanJob builds the synthetic serving workload: a binary fan of n leaves,
+// each computing work synthetic cycles.
+func fanJob(n, work int) wsrt.Func {
+	var fan func(c *wsrt.Ctx, n int)
+	fan = func(c *wsrt.Ctx, n int) {
+		if n <= 1 {
+			c.Compute(int64(work))
+			return
+		}
+		c.Spawn(func(cc *wsrt.Ctx) { fan(cc, n/2) })
+		fan(c, n-n/2)
+		c.Sync()
+	}
+	return func(c *wsrt.Ctx) { fan(c, n) }
+}
+
+// parseMesh turns "4x4" or "8x4x2" into mesh extents.
+func parseMesh(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) < 1 || len(parts) > 3 {
+		return nil, fmt.Errorf("bad mesh %q: want DXxDY or DXxDYxDZ", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad mesh %q: dimension %q", s, p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func splitTenants(s string) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		names = append(names, n)
+	}
+	return names
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testOptions() options {
+	return options{
+		mesh:        "4x2",
+		tenants:     "default",
+		machine:     "4x4",
+		quantum:     time.Millisecond,
+		rearbitrate: 5 * time.Millisecond,
+		queueCap:    16,
+		shedQuanta:  8,
+	}
+}
+
+func TestParseMesh(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"4x4", []int{4, 4}, true},
+		{"8x4x2", []int{8, 4, 2}, true},
+		{"16", []int{16}, true},
+		{" 4X4 ", []int{4, 4}, true},
+		{"", nil, false},
+		{"4x0", nil, false},
+		{"axb", nil, false},
+		{"1x2x3x4", nil, false},
+	} {
+		got, err := parseMesh(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseMesh(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("parseMesh(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("parseMesh(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestServerSingleTenant(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// A small job completes synchronously.
+	resp, err = http.Post(ts.URL+"/submit?fanout=8&work=1000", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Tenant != "default" || rep.Fanout != 8 {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, rep)
+	}
+
+	// Parameter validation and routing.
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/submit", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/submit?fanout=-1", http.StatusBadRequest},
+		{http.MethodPost, "/submit?work=abc", http.StatusBadRequest},
+		{http.MethodPost, "/submit?tenant=nope", http.StatusNotFound},
+		{http.MethodGet, "/drain", http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Status reports the pool; metrics render.
+	resp, err = http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Pools) != 1 || st.Pools[0].Name != "default" || st.Pools[0].Completed != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st.Tenants) != 0 {
+		t.Fatalf("single-tenant status must omit tenancy: %+v", st.Tenants)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, `palirria_pool_completed_total{pool="default"} 1`) {
+		t.Fatalf("metrics missing completion counter:\n%s", body)
+	}
+
+	// Drain: replies a final summary, unblocks the exit channel, and
+	// subsequent submissions are refused.
+	resp, err = http.Post(ts.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain = %d", resp.StatusCode)
+	}
+	select {
+	case <-s.drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not signal process exit")
+	}
+	resp, err = http.Post(ts.URL+"/submit", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServerMultiTenant(t *testing.T) {
+	opts := testOptions()
+	opts.tenants = "web, batch,web" // duplicate and whitespace are cleaned
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	for _, tenant := range []string{"web", "batch"} {
+		resp, err := http.Post(ts.URL+"/submit?tenant="+tenant+"&fanout=4&work=500", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %s = %d", tenant, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Pools) != 2 || len(st.Tenants) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	total := st.FreeCores
+	for _, tn := range st.Tenants {
+		if tn.Share < 1 {
+			t.Fatalf("tenant %q has no share", tn.Name)
+		}
+		total += tn.Share
+	}
+	if total != 16 { // 4x4 machine
+		t.Fatalf("shares + free = %d, want 16", total)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

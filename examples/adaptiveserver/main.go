@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -26,40 +27,8 @@ type wave struct {
 	workUnit int64
 }
 
-func main() {
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090) and wait for Ctrl-C after the run")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run")
-	flag.Parse()
-
-	// A 4x4 virtual mesh: sixteen workers laid out for DVS. On small
-	// hosts they timeshare; the estimation dynamics are the same.
-	mesh, err := palirria.NewMesh(4, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := palirria.RTConfig{
-		Mesh:      mesh,
-		Source:    5, // an interior core, like the paper's platforms
-		Estimator: palirria.NewPalirria(),
-		Quantum:   time.Millisecond,
-	}
-	var srv *palirria.ObsServer
-	if *metricsAddr != "" {
-		cfg.Metrics = palirria.NewObsRegistry()
-		if srv, err = palirria.ServeObs(*metricsAddr, cfg.Metrics); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("observability server on %s (/metrics, /debug/vars, /debug/pprof)\n", srv.URL())
-	}
-	if *traceOut != "" {
-		cfg.Tracer = palirria.NewObsTracer(1000) // wall-clock ns -> µs
-	}
-	rt, err := palirria.NewRuntime(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	waves := []wave{
+func defaultWaves() []wave {
+	return []wave{
 		{"overnight (idle)", 4, 400_000},
 		{"morning ramp", 64, 400_000},
 		{"peak", 256, 400_000},
@@ -67,36 +36,90 @@ func main() {
 		{"evening burst", 192, 400_000},
 		{"night (idle)", 4, 400_000},
 	}
+}
+
+// options configures one demo run; the zero value plus waves is valid.
+type options struct {
+	metricsAddr string
+	traceOut    string
+	waves       []wave
+	quantum     time.Duration
+	quietCycles int64 // compute between waves
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090) and wait for Ctrl-C after the run")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event JSON file of the run")
+	flag.Parse()
+	o.waves = defaultWaves()
+	o.quantum = time.Millisecond
+	o.quietCycles = 2_000_000
+	if err := run(os.Stdout, o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the wave scenario and prints the allotment timeline. It is
+// separated from main so the example has test coverage.
+func run(out io.Writer, o options) error {
+	// A 4x4 virtual mesh: sixteen workers laid out for DVS. On small
+	// hosts they timeshare; the estimation dynamics are the same.
+	mesh, err := palirria.NewMesh(4, 4)
+	if err != nil {
+		return err
+	}
+	cfg := palirria.RTConfig{
+		Mesh:      mesh,
+		Source:    5, // an interior core, like the paper's platforms
+		Estimator: palirria.NewPalirria(),
+		Quantum:   o.quantum,
+	}
+	var srv *palirria.ObsServer
+	if o.metricsAddr != "" {
+		cfg.Metrics = palirria.NewObsRegistry()
+		if srv, err = palirria.ServeObs(o.metricsAddr, cfg.Metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "observability server on %s (/metrics, /debug/vars, /debug/pprof)\n", srv.URL())
+	}
+	if o.traceOut != "" {
+		cfg.Tracer = palirria.NewObsTracer(1000) // wall-clock ns -> µs
+	}
+	rt, err := palirria.NewRuntime(cfg)
+	if err != nil {
+		return err
+	}
 
 	var served atomic.Int64
 	rep, err := rt.Run(func(c *palirria.RTCtx) {
-		for _, w := range waves {
+		for _, w := range o.waves {
 			// Requests fan out as a nested tree (each request may spawn
 			// sub-queries), then the wave drains before the next arrives.
 			serveWave(c, w, &served)
-			c.Compute(2_000_000) // quiet period between waves
+			c.Compute(o.quietCycles) // quiet period between waves
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("served %d requests in %.1fms\n", served.Load(), float64(rep.WallNS)/1e6)
-	fmt.Println("\nallotment over time (palirria follows the load):")
+	fmt.Fprintf(out, "served %d requests in %.1fms\n", served.Load(), float64(rep.WallNS)/1e6)
+	fmt.Fprintln(out, "\nallotment over time (palirria follows the load):")
 	for _, p := range rep.Timeline.Points() {
 		bar := ""
 		for i := 0; i < p.Workers; i++ {
 			bar += "#"
 		}
-		fmt.Printf("  t=%7.2fms %2d %s\n", float64(p.Time)/1e6, p.Workers, bar)
+		fmt.Fprintf(out, "  t=%7.2fms %2d %s\n", float64(p.Time)/1e6, p.Workers, bar)
 	}
-	fmt.Printf("\n%d estimator decisions, peak %d workers\n",
+	fmt.Fprintf(out, "\n%d estimator decisions, peak %d workers\n",
 		len(rep.Decisions.Decisions()), rep.MaxWorkers)
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		td := cfg.Tracer.Drain()
 		if err := td.WriteChrome(f); err == nil {
@@ -105,17 +128,18 @@ func main() {
 			f.Close()
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %d trace events -> %s\n", len(td.Events), *traceOut)
+		fmt.Fprintf(out, "wrote %d trace events -> %s\n", len(td.Events), o.traceOut)
 	}
 	if srv != nil {
-		fmt.Printf("serving metrics on %s — Ctrl-C to exit\n", srv.URL())
+		fmt.Fprintf(out, "serving metrics on %s — Ctrl-C to exit\n", srv.URL())
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		srv.Close()
 	}
+	return nil
 }
 
 // serveWave fans the wave's requests out as a binary spawn tree so stolen

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke executes a bounded version of the demo: two tiny waves, a
+// short quantum, and a Chrome trace written to a temp dir.
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	o := options{
+		traceOut:    filepath.Join(t.TempDir(), "trace.json"),
+		waves:       []wave{{"calm", 4, 50_000}, {"burst", 32, 50_000}},
+		quantum:     500 * time.Microsecond,
+		quietCycles: 200_000,
+	}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "served 36 requests") {
+		t.Fatalf("unexpected request count:\n%s", out)
+	}
+	if !strings.Contains(out, "allotment over time") || !strings.Contains(out, "trace events") {
+		t.Fatalf("missing report sections:\n%s", out)
+	}
+}
+
+// TestRunDefaultWaves keeps the full scenario compiling and bounded; the
+// heavy version runs only without -short.
+func TestRunDefaultWaves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full wave scenario skipped in -short mode")
+	}
+	o := options{
+		waves:       defaultWaves(),
+		quantum:     time.Millisecond,
+		quietCycles: 2_000_000,
+	}
+	if err := run(io.Discard, o); err != nil {
+		t.Fatal(err)
+	}
+}

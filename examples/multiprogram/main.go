@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,24 +19,31 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the whole demo; separated from main for test coverage.
+func run(out io.Writer) error {
 	mesh, err := palirria.NewMesh(9, 9)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mesh.Reserve(0, 1) // system scheduler + helper threads
 
 	ab := palirria.NewArbiter(mesh)
 	web, err := ab.Register("web", mesh.ID(palirria.Coord{X: 2, Y: 2}))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	batch, err := ab.Register("batch", mesh.ID(palirria.Coord{X: 6, Y: 2}))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ml, err := ab.Register("ml", mesh.ID(palirria.Coord{X: 4, Y: 6}))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Demand phases: (web, batch, ml) desired workers over time, as their
@@ -55,9 +63,9 @@ func main() {
 		ab.Request(web, ph.web)
 		ab.Request(batch, ph.batch)
 		ab.Request(ml, ph.ml)
-		fmt.Printf("\n=== %s (desired web=%d batch=%d ml=%d) ===\n",
+		fmt.Fprintf(out, "\n=== %s (desired web=%d batch=%d ml=%d) ===\n",
 			ph.name, ph.web, ph.batch, ph.ml)
-		palirria.RenderOwnership(os.Stdout, "mesh ownership:", mesh,
+		palirria.RenderOwnership(out, "mesh ownership:", mesh,
 			[]*palirria.Allotment{web.Allotment(), batch.Allotment(), ml.Allotment()})
 		for _, app := range ab.Apps() {
 			a := app.Allotment()
@@ -66,22 +74,22 @@ func main() {
 			if c.Complete() {
 				complete = "complete"
 			}
-			fmt.Printf("  %-6s %2d workers, diaspora %d, |X|=%d |Z|=%d |F|=%d (%s classes)\n",
+			fmt.Fprintf(out, "  %-6s %2d workers, diaspora %d, |X|=%d |Z|=%d |F|=%d (%s classes)\n",
 				app.Name, a.Size(), a.Diaspora(), len(c.X()), len(c.Z()), len(c.F()), complete)
 		}
-		fmt.Printf("  free cores: %d\n", ab.FreeCores())
+		fmt.Fprintf(out, "  free cores: %d\n", ab.FreeCores())
 	}
 
 	// Zoom in on one contended allotment's classification.
-	fmt.Println("\n=== ml application classified under contention ===")
-	palirria.RenderClassGrid(os.Stdout, "DVS classes of the ml allotment:", palirria.Classify(ml.Allotment()))
+	fmt.Fprintln(out, "\n=== ml application classified under contention ===")
+	palirria.RenderClassGrid(out, "DVS classes of the ml allotment:", palirria.Classify(ml.Allotment()))
 
 	// And finally run three real co-scheduled jobs end to end on the
 	// simulator: each adapts with Palirria while competing for cores.
-	fmt.Println("\n=== co-scheduled execution (3 adaptive jobs, one mesh) ===")
+	fmt.Fprintln(out, "\n=== co-scheduled execution (3 adaptive jobs, one mesh) ===")
 	runMesh, err := palirria.NewMesh(9, 9)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	runMesh.Reserve(0, 1)
 	roots := map[string]string{"web": "bursty", "batch": "sort", "ml": "strassen"}
@@ -96,7 +104,7 @@ func main() {
 	} {
 		root, err := palirria.WorkloadRoot(roots[jd.name], "sim32")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		jobs = append(jobs, palirria.SimJob{
 			Name:      jd.name,
@@ -109,11 +117,12 @@ func main() {
 		Mesh: runMesh, Jobs: jobs, Quantum: 25000,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("machine makespan: %d cycles\n", res.MakespanCycles)
+	fmt.Fprintf(out, "machine makespan: %d cycles\n", res.MakespanCycles)
 	for _, jr := range res.Jobs {
-		fmt.Printf("  %-6s finished at %9d cycles, peak %2d workers\n",
+		fmt.Fprintf(out, "  %-6s finished at %9d cycles, peak %2d workers\n",
 			jr.Name, jr.FinishCycles, jr.Timeline.Max())
 	}
+	return nil
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the whole demo (it is deterministic and bounded:
+// scripted arbitration phases plus one multiprogrammed simulator run) and
+// checks the report's key sections.
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"=== steady state",
+		"=== night: all quiet",
+		"free cores:",
+		"machine makespan:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out[:min(len(out), 2000)])
+		}
+	}
+	// Every job of the co-scheduled run must finish.
+	for _, job := range []string{"web", "batch", "ml"} {
+		if !strings.Contains(out, job) {
+			t.Fatalf("job %q missing from report", job)
+		}
+	}
+}

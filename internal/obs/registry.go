@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,21 +42,66 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Histogram is a fixed-bucket distribution metric in the Prometheus
+// histogram exposition shape: cumulative per-bucket counts plus a running
+// sum and count. Observe is lock-free; buckets are immutable after
+// construction.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefaultLatencyBuckets spans 100µs to 10s in roughly 1-2.5-5 steps — a
+// reasonable default for admission and service latencies in seconds.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // metricKind is the Prometheus TYPE of a metric family.
 type metricKind string
 
 const (
-	kindCounter metricKind = "counter"
-	kindGauge   metricKind = "gauge"
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
 )
 
 // metric is one registered series.
 type metric struct {
-	name   string
-	help   string
-	kind   metricKind
-	labels string // preformatted {k="v",...} or ""
-	value  func() float64
+	name       string
+	help       string
+	kind       metricKind
+	labels     string // preformatted {k="v",...} or ""
+	labelPairs []Label
+	value      func() float64
+	hist       *Histogram
 }
 
 // Registry is a minimal dependency-free metric registry that renders
@@ -118,6 +164,23 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...L
 		labels: formatLabels(labels), value: fn})
 }
 
+// Histogram registers and returns a histogram with the given upper bucket
+// bounds (ascending; an implicit +Inf bucket is always added). Pass nil to
+// get DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+	sort.Float64s(h.bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram,
+		labels: formatLabels(labels), labelPairs: append([]Label(nil), labels...), hist: h})
+	return h
+}
+
 // WritePrometheus renders every registered series in Prometheus text
 // exposition format, grouped into families with one HELP/TYPE header
 // each.
@@ -144,6 +207,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", name, fam[0].kind)
 		for _, m := range fam {
+			if m.kind == kindHistogram {
+				writeHistogram(w, m)
+				continue
+			}
 			v := m.value()
 			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 				fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, int64(v))
@@ -152,6 +219,24 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			}
 		}
 	}
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with a
+// le label, then _sum and _count.
+func writeHistogram(w io.Writer, m *metric) {
+	h := m.hist
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		le := formatLabels(append(append([]Label(nil), m.labelPairs...),
+			Label{Key: "le", Value: strconv.FormatFloat(ub, 'g', -1, 64)}))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, le, cum)
+	}
+	total := h.Count()
+	inf := formatLabels(append(append([]Label(nil), m.labelPairs...), Label{Key: "le", Value: "+Inf"}))
+	fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, inf, total)
+	fmt.Fprintf(w, "%s_sum%s %g\n", m.name, m.labels, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, total)
 }
 
 // Handler returns an http.Handler serving the registry in Prometheus

@@ -82,3 +82,69 @@ func TestGaugeFloat(t *testing.T) {
 		t.Fatalf("float gauge rendered wrong: %s", buf.String())
 	}
 }
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got < 5.56 || got > 5.57 {
+		t.Fatalf("sum = %g, want ~5.565", got)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramDefaultBucketsAndLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("admission_seconds", "", nil, Label{Key: "pool", Value: "web"})
+	h.Observe(0.0003)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `admission_seconds_bucket{pool="web",le="0.0005"} 1`) {
+		t.Fatalf("labelled bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, `admission_seconds_count{pool="web"} 1`) {
+		t.Fatalf("labelled count missing:\n%s", out)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); got != 2000 {
+		t.Fatalf("sum = %g, want 2000", got)
+	}
+}

@@ -83,6 +83,11 @@ func PublishExpvar(name string, reg *Registry) {
 		ms := append([]*metric(nil), reg.ms...)
 		reg.mu.Unlock()
 		for _, m := range ms {
+			if m.kind == kindHistogram {
+				out[m.name+m.labels+"_count"] = float64(m.hist.Count())
+				out[m.name+m.labels+"_sum"] = m.hist.Sum()
+				continue
+			}
 			out[m.name+m.labels] = m.value()
 		}
 		return out

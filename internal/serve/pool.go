@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"palirria/internal/core"
+	"palirria/internal/obs"
+	"palirria/internal/wsrt"
+)
+
+// Config describes a serving pool.
+type Config struct {
+	// Name labels the pool in metrics and multi-tenant listings.
+	Name string
+	// Runtime configures the resident work-stealing runtime. A nil
+	// Estimator defaults to the Palirria estimator — a serving pool
+	// without adaptation would pin its allotment forever. The pool owns
+	// Runtime.OnQuantum; a caller-supplied callback is chained after the
+	// pool's own bookkeeping.
+	Runtime wsrt.Config
+	// QueueCap bounds the jobs resident in the pool (queued + running);
+	// Submit beyond it returns ErrQueueFull. Default 128.
+	QueueCap int
+	// ShedQuanta is how many consecutive quanta the filtered desire must
+	// sit at the maximum grantable allotment (while the queue is
+	// saturated) before the pool sheds load. Default 8.
+	ShedQuanta int
+	// Metrics, when set, registers the pool's counters and the admission
+	// latency histogram (label pool=Name).
+	Metrics *obs.Registry
+}
+
+// Pool lifecycle states.
+const (
+	poolAccepting int32 = iota
+	poolDraining
+	poolClosed
+)
+
+// job states. pending->running->done is the normal path;
+// pending->cancelled is a context cancellation or shutdown discard.
+const (
+	jobPending int32 = iota
+	jobRunning
+	jobDone
+	jobCancelled
+)
+
+type job struct {
+	state atomic.Int32
+	done  chan struct{}
+}
+
+// Pool is a resident serving pool: one persistent runtime, a bounded
+// admission queue, estimator-driven shedding, and a graceful drain.
+type Pool struct {
+	cfg Config
+	rt  *wsrt.Runtime
+
+	// slots bounds resident jobs; acquired at admission, released when a
+	// job completes or is discarded.
+	slots chan struct{}
+
+	state    atomic.Int32
+	inflight atomic.Int64
+	running  atomic.Int64
+
+	// shedding is the overload latch; pinned counts consecutive quanta of
+	// desire == capacity and is touched only by the helper goroutine.
+	shedding atomic.Bool
+	pinned   int
+
+	lastDesire atomic.Int64
+	peakDesire atomic.Int64
+
+	admitted     atomic.Int64
+	completed    atomic.Int64
+	cancelled    atomic.Int64
+	rejectedFull atomic.Int64
+	rejectedShed atomic.Int64
+
+	latHist *obs.Histogram
+
+	closeOnce sync.Once
+	drainedCh chan struct{}
+	finalMu   sync.Mutex
+	final     *wsrt.Report
+}
+
+// New builds the pool and starts its runtime in persistent mode. The pool
+// is immediately accepting; callers must eventually Drain it.
+func New(cfg Config) (*Pool, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 128
+	}
+	if cfg.ShedQuanta <= 0 {
+		cfg.ShedQuanta = 8
+	}
+	if cfg.Name == "" {
+		cfg.Name = "pool"
+	}
+	if cfg.Runtime.Estimator == nil {
+		cfg.Runtime.Estimator = core.NewPalirria()
+	}
+	// The runtime-level queue must never reject a job the pool admitted.
+	if cfg.Runtime.SubmitQueueCap < cfg.QueueCap {
+		cfg.Runtime.SubmitQueueCap = cfg.QueueCap
+	}
+	p := &Pool{
+		cfg:       cfg,
+		slots:     make(chan struct{}, cfg.QueueCap),
+		drainedCh: make(chan struct{}),
+	}
+	chained := cfg.Runtime.OnQuantum
+	cfg.Runtime.OnQuantum = func(q wsrt.QuantumInfo) {
+		p.noteQuantum(q)
+		if chained != nil {
+			chained(q)
+		}
+	}
+	rt, err := wsrt.New(cfg.Runtime)
+	if err != nil {
+		return nil, err
+	}
+	p.rt = rt
+	if cfg.Metrics != nil {
+		p.registerMetrics(cfg.Metrics)
+	}
+	if err := rt.Start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Name returns the pool's label.
+func (p *Pool) Name() string { return p.cfg.Name }
+
+// noteQuantum is the pool's estimator tap, invoked once per quantum on
+// the runtime's helper goroutine. It maintains the overload latch: armed
+// after ShedQuanta consecutive quanta of filtered desire pinned at the
+// maximum grantable allotment with a saturated queue, released as soon as
+// desire drops below capacity.
+func (p *Pool) noteQuantum(q wsrt.QuantumInfo) {
+	p.lastDesire.Store(int64(q.Filtered))
+	for {
+		peak := p.peakDesire.Load()
+		if int64(q.Filtered) <= peak || p.peakDesire.CompareAndSwap(peak, int64(q.Filtered)) {
+			break
+		}
+	}
+	if q.Filtered >= q.Capacity {
+		p.pinned++
+	} else {
+		p.pinned = 0
+		p.shedding.Store(false)
+	}
+	if p.pinned >= p.cfg.ShedQuanta && len(p.slots) >= p.cfg.QueueCap {
+		p.shedding.Store(true)
+	} else if p.shedding.Load() && len(p.slots) == 0 {
+		// A pool whose minimum allotment equals its capacity never sees
+		// desire drop below capacity, so the desire-based release above is
+		// unreachable for it; a fully drained pool is unambiguous recovery.
+		p.pinned = 0
+		p.shedding.Store(false)
+	}
+}
+
+// Submit admits fn as one job and waits for it. It returns nil once the
+// job (and every task it spawned) completed, or:
+//
+//   - ErrDraining when the pool no longer admits work;
+//   - ErrOverloaded while the estimator-driven shed latch is armed;
+//   - ErrQueueFull when the bounded admission queue is at capacity;
+//   - ctx.Err() when the context expires — a job that has not started is
+//     skipped entirely; a job already running completes in the background
+//     (cooperative model: a fork/join body cannot be preempted) and is
+//     still counted and drained;
+//   - ErrDiscarded when the pool shut down before the job ran.
+func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
+	if p.state.Load() != poolAccepting {
+		return ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.shedding.Load() {
+		p.rejectedShed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		p.rejectedFull.Add(1)
+		return ErrQueueFull
+	}
+
+	j := &job{done: make(chan struct{})}
+	submitNS := nowNS()
+	wrapped := func(c *wsrt.Ctx) {
+		if !j.state.CompareAndSwap(jobPending, jobRunning) {
+			return // cancelled while queued
+		}
+		p.running.Add(1)
+		if p.latHist != nil {
+			p.latHist.Observe(float64(nowNS()-submitNS) / 1e9)
+		}
+		fn(c)
+	}
+	onDone := func() {
+		// Fires after the job's task tree fully completed — or, for
+		// skipped/discarded jobs, as soon as the runtime flushes them.
+		if j.state.CompareAndSwap(jobRunning, jobDone) {
+			p.running.Add(-1)
+			p.completed.Add(1)
+		} else {
+			p.cancelled.Add(1)
+		}
+		<-p.slots
+		p.inflight.Add(-1)
+		close(j.done)
+	}
+	p.inflight.Add(1)
+	p.admitted.Add(1)
+	if err := p.rt.Submit(wrapped, onDone); err != nil {
+		p.inflight.Add(-1)
+		p.admitted.Add(-1)
+		<-p.slots
+		if errors.Is(err, wsrt.ErrClosed) {
+			// Lost the race against a concurrent Drain's shutdown.
+			return ErrDraining
+		}
+		return err
+	}
+
+	select {
+	case <-j.done:
+		if j.state.Load() == jobDone {
+			return nil
+		}
+		return ErrDiscarded
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobPending, jobCancelled) {
+			return ctx.Err() // never started; will be skipped when dequeued
+		}
+		// Already running: detach. The job still completes and Drain
+		// still waits for it.
+		return ctx.Err()
+	}
+}
+
+// Drain gracefully shuts the pool down: admission stops immediately,
+// every in-flight job (queued jobs included) is waited for, then the
+// runtime is shut down and its workers released. Safe to call from
+// several goroutines; all of them return once the drain completes. If ctx
+// expires first, Drain returns ctx.Err() with the pool left draining —
+// call Drain again to keep waiting.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.state.CompareAndSwap(poolAccepting, poolDraining)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for p.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	p.closeOnce.Do(func() {
+		rep, err := p.rt.Shutdown()
+		if err == nil {
+			p.finalMu.Lock()
+			p.final = rep
+			p.finalMu.Unlock()
+		}
+		p.state.Store(poolClosed)
+		close(p.drainedCh)
+	})
+	select {
+	case <-p.drainedCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drained reports whether the pool has fully shut down.
+func (p *Pool) Drained() bool { return p.state.Load() == poolClosed }
+
+// Final returns the runtime's end-of-life report (timeline, decisions,
+// per-worker accounting); nil until the drain completes.
+func (p *Pool) Final() *wsrt.Report {
+	p.finalMu.Lock()
+	defer p.finalMu.Unlock()
+	return p.final
+}
+
+// LiveDesire is the filtered desire of the most recent quantum; before
+// the first quantum it falls back to the current allotment size. The
+// re-arbitration loop reads it as the pool's bid for cores.
+func (p *Pool) LiveDesire() int {
+	if d := int(p.lastDesire.Load()); d > 0 {
+		return d
+	}
+	return p.rt.AllotmentSize()
+}
+
+// takeBid returns the peak filtered desire observed since the previous
+// call, and resets the window. Estimation quanta are much shorter than
+// arbitration rounds, so a point sample of the latest quantum would miss
+// the transient Increase decisions that signal real demand; the windowed
+// peak is the pool's honest bid for the whole epoch.
+func (p *Pool) takeBid() int {
+	peak := int(p.peakDesire.Swap(0))
+	if d := p.LiveDesire(); d > peak {
+		peak = d
+	}
+	return peak
+}
+
+// SetMaxWorkers imposes (n > 0) or lifts (n <= 0) a dynamic worker cap on
+// the pool's runtime; see wsrt.Runtime.SetMaxWorkers.
+func (p *Pool) SetMaxWorkers(n int) { p.rt.SetMaxWorkers(n) }
+
+// Capacity returns the largest allotment currently grantable.
+func (p *Pool) Capacity() int { return p.rt.Capacity() }
+
+// AllotmentSize returns the current allotment size.
+func (p *Pool) AllotmentSize() int { return p.rt.AllotmentSize() }
+
+// Stats is a point-in-time snapshot of the pool's serving counters.
+type Stats struct {
+	Name string `json:"name"`
+	// Admitted counts jobs that entered the pool; every one of them ends
+	// up in exactly one of Completed or Cancelled.
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	// RejectedFull and RejectedShed count Submit rejections by cause.
+	RejectedFull int64 `json:"rejected_full"`
+	RejectedShed int64 `json:"rejected_shed"`
+	// InFlight is queued + running; Running is jobs actually executing.
+	InFlight int64 `json:"in_flight"`
+	Running  int64 `json:"running"`
+	Queued   int64 `json:"queued"`
+	// Shedding reports the overload latch; Draining/Closed the lifecycle.
+	Shedding bool `json:"shedding"`
+	Draining bool `json:"draining"`
+	Closed   bool `json:"closed"`
+	// Desire, Allotment and Capacity expose the estimation loop.
+	Desire    int `json:"desire"`
+	Allotment int `json:"allotment"`
+	Capacity  int `json:"capacity"`
+	QueueCap  int `json:"queue_cap"`
+}
+
+// Stats samples the pool.
+func (p *Pool) Stats() Stats {
+	inflight := p.inflight.Load()
+	running := p.running.Load()
+	queued := inflight - running
+	if queued < 0 {
+		queued = 0
+	}
+	st := p.state.Load()
+	return Stats{
+		Name:         p.cfg.Name,
+		Admitted:     p.admitted.Load(),
+		Completed:    p.completed.Load(),
+		Cancelled:    p.cancelled.Load(),
+		RejectedFull: p.rejectedFull.Load(),
+		RejectedShed: p.rejectedShed.Load(),
+		InFlight:     inflight,
+		Running:      running,
+		Queued:       queued,
+		Shedding:     p.shedding.Load(),
+		Draining:     st == poolDraining,
+		Closed:       st == poolClosed,
+		Desire:       int(p.lastDesire.Load()),
+		Allotment:    p.rt.AllotmentSize(),
+		Capacity:     p.rt.Capacity(),
+		QueueCap:     p.cfg.QueueCap,
+	}
+}
+
+// registerMetrics exposes the pool's serving counters on reg, labelled by
+// pool name. The runtime's own worker metrics register separately via
+// Config.Runtime.Metrics.
+func (p *Pool) registerMetrics(reg *obs.Registry) {
+	lbl := obs.Label{Key: "pool", Value: p.cfg.Name}
+	count := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.CounterFunc("palirria_pool_admitted_total", "Jobs admitted into the pool.",
+		count(&p.admitted), lbl)
+	reg.CounterFunc("palirria_pool_completed_total", "Jobs completed.",
+		count(&p.completed), lbl)
+	reg.CounterFunc("palirria_pool_cancelled_total", "Jobs cancelled or discarded before running.",
+		count(&p.cancelled), lbl)
+	reg.CounterFunc("palirria_pool_rejected_total", "Submits rejected: admission queue full.",
+		count(&p.rejectedFull), lbl, obs.Label{Key: "reason", Value: "full"})
+	reg.CounterFunc("palirria_pool_rejected_total", "Submits rejected: load shedding.",
+		count(&p.rejectedShed), lbl, obs.Label{Key: "reason", Value: "shed"})
+	reg.GaugeFunc("palirria_pool_inflight_jobs", "Jobs resident in the pool (queued + running).",
+		count(&p.inflight), lbl)
+	reg.GaugeFunc("palirria_pool_queued_jobs", "Jobs admitted but not yet started.",
+		func() float64 {
+			q := p.inflight.Load() - p.running.Load()
+			if q < 0 {
+				q = 0
+			}
+			return float64(q)
+		}, lbl)
+	reg.GaugeFunc("palirria_pool_shedding", "1 while the overload latch is armed.",
+		func() float64 {
+			if p.shedding.Load() {
+				return 1
+			}
+			return 0
+		}, lbl)
+	reg.GaugeFunc("palirria_pool_desire_workers", "Filtered desire of the last quantum.",
+		func() float64 { return float64(p.lastDesire.Load()) }, lbl)
+	p.latHist = reg.Histogram("palirria_pool_admission_latency_seconds",
+		"Time from Submit to job start.", nil, lbl)
+}

@@ -1,0 +1,52 @@
+// Package serve is the persistent job-serving layer over the real
+// work-stealing runtime: the production shape of the paper's motivating
+// scenario (§1), a server whose parallelism fluctuates with incoming
+// load.
+//
+// A Pool keeps a wsrt.Runtime resident in persistent mode and admits a
+// continuous stream of fork/join jobs through Submit, with three
+// backpressure stages:
+//
+//  1. a bounded admission queue — Submit fails fast with ErrQueueFull
+//     when the pool already holds QueueCap jobs (queued plus running);
+//  2. estimator-driven load shedding — the Palirria desire signal is the
+//     overload detector: when the filtered desire has been pinned at the
+//     maximum grantable allotment for ShedQuanta consecutive quanta while
+//     the admission queue is saturated, the pool starts rejecting with
+//     ErrOverloaded until desire falls below capacity again (or the pool
+//     drains empty — the recovery path for pools whose minimum allotment
+//     already equals their capacity);
+//  3. per-job deadlines — Submit honours its context: jobs cancelled
+//     before they start are skipped without running.
+//
+// Drain stops admission, waits for every in-flight job, then shuts the
+// runtime down and releases its allotment — no admitted job is lost.
+//
+// Tenancy runs the paper's two-level architecture (Fig. 2) on real
+// goroutines: several resident pools register with a sysched.Arbiter over
+// one arbitration mesh, and a re-arbitration loop periodically
+// redistributes worker shares according to each pool's live desire,
+// imposing the shares as dynamic worker caps on the pools' runtimes.
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors returned by Pool.Submit and Pool.Drain.
+var (
+	// ErrQueueFull reports an admission queue at capacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrOverloaded reports desire-driven load shedding: the estimator has
+	// been demanding the maximum allotment for ShedQuanta quanta and the
+	// queue is saturated.
+	ErrOverloaded = errors.New("serve: pool overloaded, shedding load")
+	// ErrDraining reports a Submit on a pool that is draining or closed.
+	ErrDraining = errors.New("serve: pool is draining")
+	// ErrDiscarded reports a job that was admitted but discarded before it
+	// ran because the pool shut down.
+	ErrDiscarded = errors.New("serve: job discarded at shutdown")
+)
+
+func nowNS() int64 { return time.Now().UnixNano() }

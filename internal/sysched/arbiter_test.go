@@ -143,3 +143,116 @@ func TestArbiterValidation(t *testing.T) {
 		t.Fatal("release did not return cores")
 	}
 }
+
+// ownershipConsistent verifies the owner map and the apps' allotments
+// agree exactly: every owned core belongs to exactly one registered app's
+// allotment and vice versa.
+func ownershipConsistent(t *testing.T, ab *Arbiter) {
+	t.Helper()
+	fromApps := map[topo.CoreID]string{}
+	for _, app := range ab.Apps() {
+		if !app.Allotment().Contains(app.Source()) {
+			t.Fatalf("%s lost its source core %d", app.Name, app.Source())
+		}
+		for _, id := range app.Allotment().Members() {
+			if prev, dup := fromApps[id]; dup {
+				t.Fatalf("core %d in both %s and %s", id, prev, app.Name)
+			}
+			fromApps[id] = app.Name
+		}
+	}
+	for id, app := range ab.owner {
+		if fromApps[id] != app.Name {
+			t.Fatalf("owner map has %d -> %s but allotments say %q", id, app.Name, fromApps[id])
+		}
+	}
+	if len(ab.owner) != len(fromApps) {
+		t.Fatalf("owner map has %d cores, allotments have %d (leak)", len(ab.owner), len(fromApps))
+	}
+}
+
+func TestArbiterChurnNoOwnershipLeaks(t *testing.T) {
+	// Register/release/re-register cycles with interleaved resizes must
+	// never leak cores in the owner map and never strand a source.
+	m := topo.MustMesh(9, 9)
+	m.Reserve(0)
+	sources := []topo.CoreID{
+		m.ID(topo.Coord{X: 2, Y: 2}),
+		m.ID(topo.Coord{X: 6, Y: 2}),
+		m.ID(topo.Coord{X: 4, Y: 6}),
+		m.ID(topo.Coord{X: 7, Y: 7}),
+	}
+	ab := NewArbiter(m)
+	live := map[int]*App{}
+	for round := 0; round < 50; round++ {
+		idx := round % len(sources)
+		if app, ok := live[idx]; ok {
+			// Resize through a churny sequence before releasing.
+			ab.Request(app, 1+(round*7)%30)
+			ownershipConsistent(t, ab)
+			ab.Release(app)
+			delete(live, idx)
+		} else {
+			app, err := ab.Register("app", sources[idx])
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			ab.Request(app, 1+(round*11)%25)
+			live[idx] = app
+		}
+		ownershipConsistent(t, ab)
+	}
+	for _, app := range live {
+		ab.Release(app)
+	}
+	if len(ab.owner) != 0 || len(ab.Apps()) != 0 {
+		t.Fatalf("after full release: %d owned cores, %d apps", len(ab.owner), len(ab.Apps()))
+	}
+	if ab.FreeCores() != m.Usable() {
+		t.Fatalf("free = %d, want %d", ab.FreeCores(), m.Usable())
+	}
+}
+
+func TestArbiterReRegisterSameSource(t *testing.T) {
+	// A released source must be immediately reusable, and the fresh app
+	// must get the same uncontended seed grant as the first registration.
+	m := topo.MustMesh(6, 6)
+	ab := NewArbiter(m)
+	src := m.ID(topo.Coord{X: 3, Y: 3})
+	for cycle := 0; cycle < 10; cycle++ {
+		app, err := ab.Register("a", src)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if app.Allotment().Size() != 5 {
+			t.Fatalf("cycle %d: seed grant %d, want 5", cycle, app.Allotment().Size())
+		}
+		ab.Request(app, 20)
+		ownershipConsistent(t, ab)
+		ab.Release(app)
+		if ab.FreeCores() != m.Usable() {
+			t.Fatalf("cycle %d: leaked %d cores", cycle, m.Usable()-ab.FreeCores())
+		}
+	}
+}
+
+func TestArbiterShrinkNeverReleasesSource(t *testing.T) {
+	// Shrink requests below 1 clamp to 1 and the survivor is the source —
+	// across churn, under contention, every time.
+	m := topo.MustMesh(5, 5)
+	ab := NewArbiter(m)
+	a1, _ := ab.Register("a", m.ID(topo.Coord{X: 1, Y: 1}))
+	a2, _ := ab.Register("b", m.ID(topo.Coord{X: 3, Y: 3}))
+	for round := 0; round < 20; round++ {
+		ab.Request(a1, 1+(round*5)%20)
+		ab.Request(a2, 20-(round*3)%19)
+		ab.Request(a1, -3) // hostile: clamps to 1
+		if got := a1.Allotment().Size(); got != 1 {
+			t.Fatalf("round %d: shrink to -3 gave size %d, want 1", round, got)
+		}
+		if !a1.Allotment().Contains(a1.Source()) {
+			t.Fatalf("round %d: source released", round)
+		}
+		ownershipConsistent(t, ab)
+	}
+}

@@ -14,6 +14,7 @@ package sysched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"palirria/internal/topo"
 )
@@ -25,6 +26,13 @@ type Manager struct {
 	minDiaspora int
 	maxDiaspora int
 	current     *topo.Allotment
+
+	// zoneSizes[d-1] is the size of the complete allotment of diaspora d.
+	zoneSizes []int
+	// workerCap is a dynamic worker-count ceiling imposed from above (the
+	// multiprogramming arbiter); 0 means uncapped. It is atomic because the
+	// re-arbitration loop writes it while the estimation helper calls Grant.
+	workerCap atomic.Int64
 }
 
 // Option configures a Manager.
@@ -70,11 +78,60 @@ func NewManager(mesh *topo.Mesh, source topo.CoreID, opts ...Option) (*Manager, 
 		return nil, err
 	}
 	m.current = a
+	for d := 1; d <= m.maxDiaspora; d++ {
+		za, err := topo.NewAllotment(mesh, source, d)
+		if err != nil {
+			break
+		}
+		m.zoneSizes = append(m.zoneSizes, za.Size())
+	}
+	if len(m.zoneSizes) == 0 {
+		m.zoneSizes = []int{a.Size()}
+	}
+	m.maxDiaspora = len(m.zoneSizes)
 	return m, nil
 }
 
 // Current returns the granted allotment.
 func (m *Manager) Current() *topo.Allotment { return m.current }
+
+// SetWorkerCap imposes (or, with n <= 0, lifts) a dynamic worker-count
+// ceiling on future grants. Grants stay zone-granular: the effective limit
+// is the largest complete allotment not exceeding the cap, with the
+// minimal zone-1 allotment as the floor. Safe to call concurrently with
+// Grant.
+func (m *Manager) SetWorkerCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.workerCap.Store(int64(n))
+}
+
+// WorkerCap returns the current dynamic ceiling (0 = uncapped).
+func (m *Manager) WorkerCap() int { return int(m.workerCap.Load()) }
+
+// sizeAt returns the complete-allotment size of diaspora d (1-based).
+func (m *Manager) sizeAt(d int) int { return m.zoneSizes[d-1] }
+
+// EffectiveMaxWorkers is the largest allotment size currently grantable:
+// the maxDiaspora size clamped by the worker cap to the largest zone size
+// that fits, flooring at the zone-1 minimum.
+func (m *Manager) EffectiveMaxWorkers() int {
+	max := m.zoneSizes[len(m.zoneSizes)-1]
+	cap := int(m.workerCap.Load())
+	if cap <= 0 || cap >= max {
+		return max
+	}
+	best := m.zoneSizes[0]
+	for _, s := range m.zoneSizes {
+		if s <= cap {
+			best = s
+		} else {
+			break
+		}
+	}
+	return best
+}
 
 // Series returns the allotment sizes reachable under the diaspora cap.
 func (m *Manager) Series() []int {
@@ -92,12 +149,21 @@ func (m *Manager) Series() []int {
 // deliberately jumps — that exponential convergence (and the drain cost of
 // its over-corrections) is part of the algorithm being compared.
 func (m *Manager) Grant(desired int) (*topo.Allotment, bool) {
+	cap := int(m.workerCap.Load())
+	if cap > 0 && desired > cap {
+		desired = cap
+	}
 	targetD := m.diasporaFor(desired)
 	if targetD > m.maxDiaspora {
 		targetD = m.maxDiaspora
 	}
 	if targetD < 1 {
 		targetD = 1
+	}
+	// The zone holding `desired` workers may overshoot the cap (zones are
+	// coarse); step back to the largest zone that fits, flooring at d=1.
+	for cap > 0 && targetD > 1 && m.sizeAt(targetD) > cap {
+		targetD--
 	}
 	if targetD == m.current.Diaspora() {
 		return m.current, false

@@ -139,3 +139,62 @@ func TestGrantSeriesLinux(t *testing.T) {
 		t.Fatalf("growth series = %v, want %v", sizes, want)
 	}
 }
+
+func TestManagerWorkerCapClampsGrants(t *testing.T) {
+	m, src := simMesh()
+	mgr, err := NewManager(m, src, WithMaxDiaspora(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncapped: the series tops out at 27.
+	if got := mgr.EffectiveMaxWorkers(); got != 27 {
+		t.Fatalf("uncapped EffectiveMaxWorkers = %d, want 27", got)
+	}
+	a, _ := mgr.Grant(27)
+	if a.Size() != 27 {
+		t.Fatalf("uncapped grant = %d, want 27", a.Size())
+	}
+	// Cap between zones: the largest fitting zone wins (cap 15 -> 12).
+	mgr.SetWorkerCap(15)
+	if got := mgr.EffectiveMaxWorkers(); got != 12 {
+		t.Fatalf("capped EffectiveMaxWorkers = %d, want 12", got)
+	}
+	a, changed := mgr.Grant(27)
+	if !changed || a.Size() != 12 {
+		t.Fatalf("capped grant = %d (changed %v), want 12", a.Size(), changed)
+	}
+	// Cap below the minimal zone floors at zone 1.
+	mgr.SetWorkerCap(2)
+	if got := mgr.EffectiveMaxWorkers(); got != 5 {
+		t.Fatalf("floor EffectiveMaxWorkers = %d, want 5 (zone-1 floor)", got)
+	}
+	a, _ = mgr.Grant(27)
+	if a.Size() != 5 {
+		t.Fatalf("floored grant = %d, want 5", a.Size())
+	}
+	// Lifting the cap restores the full series.
+	mgr.SetWorkerCap(0)
+	if got := mgr.EffectiveMaxWorkers(); got != 27 {
+		t.Fatalf("uncapped again = %d, want 27", got)
+	}
+	a, _ = mgr.Grant(20)
+	if a.Size() != 20 {
+		t.Fatalf("grant after lift = %d, want 20", a.Size())
+	}
+}
+
+func TestManagerWorkerCapExactZone(t *testing.T) {
+	m, src := simMesh()
+	mgr, err := NewManager(m, src, WithMaxDiaspora(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetWorkerCap(12)
+	a, _ := mgr.Grant(100)
+	if a.Size() != 12 {
+		t.Fatalf("grant at exact zone cap = %d, want 12", a.Size())
+	}
+	if got := mgr.WorkerCap(); got != 12 {
+		t.Fatalf("WorkerCap = %d, want 12", got)
+	}
+}

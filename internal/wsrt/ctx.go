@@ -12,9 +12,13 @@ import (
 // rtTask is one spawned task record: the unit placed in deques and joined
 // at syncs.
 type rtTask struct {
-	fn     Func
-	done   atomic.Bool
-	isRoot bool
+	fn   Func
+	done atomic.Bool
+	// onDone, when set, marks a job root: it fires after the task (and all
+	// of its joins) completes. The batch Run root uses it to signal
+	// completion; persistent-mode submissions use it to notify their
+	// waiters.
+	onDone func()
 }
 
 // Ctx is the per-task execution context: WOOL's programming interface.

@@ -22,6 +22,7 @@
 package wsrt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,6 +40,40 @@ import (
 
 // Func is a task body. The Ctx is only valid for the duration of the call.
 type Func func(*Ctx)
+
+// Sentinel errors of the runtime lifecycle.
+var (
+	// ErrAlreadyUsed reports a second Run (or Start) on a Runtime. A
+	// Runtime executes at most one batch root or one persistent session;
+	// build a new Runtime for the next one.
+	ErrAlreadyUsed = errors.New("wsrt: runtime already used")
+	// ErrNotPersistent reports Submit or Shutdown on a runtime that was
+	// not started with Start.
+	ErrNotPersistent = errors.New("wsrt: runtime is not in persistent mode")
+	// ErrClosed reports Submit or Shutdown after Shutdown.
+	ErrClosed = errors.New("wsrt: runtime is shut down")
+	// ErrSubmitQueueFull reports a Submit rejected because the runtime's
+	// bounded submission queue is saturated.
+	ErrSubmitQueueFull = errors.New("wsrt: submit queue full")
+)
+
+// QuantumInfo is the per-quantum digest handed to Config.OnQuantum: the
+// estimator's desire before and after the false-positive filter, what the
+// system layer actually granted, and the largest grant currently possible.
+// Serving layers use it for admission control — a filtered desire pinned
+// at Capacity is the estimator saying "this machine is saturated".
+type QuantumInfo struct {
+	// Time is nanoseconds since the runtime started.
+	Time int64
+	// Raw and Filtered are the desired worker counts before and after the
+	// false-positive filter.
+	Raw, Filtered int
+	// Granted is the allotment size after this quantum's grant.
+	Granted int
+	// Capacity is the largest allotment size currently grantable (topology
+	// maximum clamped by any dynamic worker cap).
+	Capacity int
+}
 
 // Config describes a runtime instance.
 type Config struct {
@@ -77,6 +112,14 @@ type Config struct {
 	// failed probes, tasks, allotment size, per-worker useful/search time)
 	// on the registry; serve it with obs.Serve. Nil disables registration.
 	Metrics *obs.Registry
+
+	// OnQuantum, when set, is invoked by the estimation helper after every
+	// quantum's grant with that quantum's digest. It runs on the helper
+	// goroutine and must be fast and non-blocking.
+	OnQuantum func(QuantumInfo)
+	// SubmitQueueCap bounds the persistent-mode submission queue (default
+	// 64). Irrelevant for batch Run.
+	SubmitQueueCap int
 }
 
 // WorkerReport is one worker's accounting, in nanoseconds where the
@@ -104,7 +147,15 @@ type Report struct {
 	MaxWorkers int
 }
 
-// Runtime is a single-use work-stealing runtime: New, then Run once.
+// Runtime is a work-stealing runtime with two mutually exclusive modes:
+//
+//   - batch: New, then Run exactly once — workers come up, execute the
+//     root to completion, and tear down (a second Run returns
+//     ErrAlreadyUsed);
+//   - persistent: New, then Start — workers stay resident, the estimation
+//     helper keeps ticking even while idle (so the allotment shrinks in
+//     valleys and regrows on load), and a continuous stream of job roots
+//     enters through Submit until Shutdown.
 type Runtime struct {
 	cfg  Config
 	mesh *topo.Mesh
@@ -117,6 +168,14 @@ type Runtime struct {
 	rootDone chan struct{}
 	started  atomic.Bool
 	finished atomic.Bool
+
+	// persistent-mode state: submitQ carries job roots to idle active
+	// workers; closed flips once at Shutdown.
+	persistent bool
+	submitQ    chan *rtTask
+	closed     atomic.Bool
+	stopHelper chan struct{}
+	helperDone chan struct{}
 
 	timeline  trace.Timeline
 	decisions trace.Log
@@ -172,6 +231,9 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Policy == "" {
 		cfg.Policy = "dvs"
 	}
+	if cfg.SubmitQueueCap <= 0 {
+		cfg.SubmitQueueCap = 64
+	}
 	opts := []sysched.Option{sysched.WithInitialDiaspora(cfg.InitialDiaspora)}
 	if cfg.MaxDiaspora > 0 {
 		opts = append(opts, sysched.WithMaxDiaspora(cfg.MaxDiaspora))
@@ -186,6 +248,7 @@ func New(cfg Config) (*Runtime, error) {
 		mgr:      mgr,
 		workers:  make(map[topo.CoreID]*worker),
 		rootDone: make(chan struct{}),
+		submitQ:  make(chan *rtTask, cfg.SubmitQueueCap),
 	}
 	if cfg.Estimator != nil {
 		r.ctrl = core.NewController(cfg.Estimator)
@@ -270,18 +333,103 @@ func (r *Runtime) rebuildPolicy(granted *topo.Allotment) {
 	r.policy.Store(p)
 }
 
-// Run executes root to completion and returns the report. A Runtime is
-// single-use: a second Run returns an error.
+// Run executes root to completion and returns the report. Run is the
+// batch mode of the runtime and is single-use: a second Run (or a Run
+// after Start) returns ErrAlreadyUsed.
 func (r *Runtime) Run(root Func) (*Report, error) {
 	if !r.started.CompareAndSwap(false, true) {
-		return nil, fmt.Errorf("wsrt: runtime already used")
+		return nil, ErrAlreadyUsed
 	}
+	r.launch(false)
+	// Seed the root task on the source worker.
+	rootTask := &rtTask{fn: root, onDone: func() {
+		r.finished.Store(true)
+		close(r.rootDone)
+	}}
+	r.workers[r.cfg.Source].inject(rootTask)
+
+	<-r.rootDone
+	wall := nowNS() - r.startNS
+	r.teardown()
+	return r.buildReport(wall), nil
+}
+
+// Start brings the runtime up in persistent mode: every worker goroutine
+// is launched (non-granted ones park) and the estimation helper begins
+// ticking, but no root is seeded — jobs arrive through Submit and the
+// runtime stays resident until Shutdown. While idle the estimator's
+// desire decays and the allotment shrinks toward the minimal zone; bursts
+// of submitted work grow it back. Like Run, Start is single-use.
+func (r *Runtime) Start() error {
+	if !r.started.CompareAndSwap(false, true) {
+		return ErrAlreadyUsed
+	}
+	r.launch(true)
+	return nil
+}
+
+// Submit enqueues fn as a new job root; an idle active worker picks it up
+// (the paper's serving scenario: independent requests entering a resident
+// allotment). onDone, if non-nil, fires after the job and all of its
+// spawns complete. Submit never blocks: when the bounded submission queue
+// is full it returns ErrSubmitQueueFull and the caller applies its own
+// backpressure policy.
+//
+// Submit must not be called concurrently with Shutdown — serving layers
+// must stop admission before shutting the runtime down.
+func (r *Runtime) Submit(fn Func, onDone func()) error {
+	if !r.persistent {
+		return ErrNotPersistent
+	}
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	select {
+	case r.submitQ <- &rtTask{fn: fn, onDone: onDone}:
+		return nil
+	default:
+		return ErrSubmitQueueFull
+	}
+}
+
+// Shutdown stops a persistent runtime: the helper and all workers exit,
+// and the final report (timeline, decisions, per-worker accounting) is
+// returned. Jobs still waiting in the submission queue are discarded
+// without running — callers wanting a graceful drain must wait for their
+// in-flight jobs before calling Shutdown — but their onDone callbacks
+// still fire so no waiter is leaked.
+func (r *Runtime) Shutdown() (*Report, error) {
+	if !r.persistent {
+		return nil, ErrNotPersistent
+	}
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil, ErrClosed
+	}
+	wall := nowNS() - r.startNS
+	r.finished.Store(true)
+	r.teardown()
+	// Flush submissions that no worker will ever pick up.
+	for {
+		select {
+		case t := <-r.submitQ:
+			if t.onDone != nil {
+				t.onDone()
+			}
+		default:
+			return r.buildReport(wall), nil
+		}
+	}
+}
+
+// launch starts every worker goroutine (granted ones active, the rest
+// parked) and the estimation helper.
+func (r *Runtime) launch(persistent bool) {
+	r.persistent = persistent
 	r.startNS = nowNS()
 	granted := r.mgr.Current()
 	r.recordTimeline(granted.Size())
-
-	// Start all worker goroutines; non-granted ones park immediately.
 	for _, w := range r.workers {
+		w.pickup = persistent
 		if granted.Contains(w.id) {
 			w.state.Store(stateActive)
 		} else {
@@ -290,38 +438,32 @@ func (r *Runtime) Run(root Func) (*Report, error) {
 		r.wg.Add(1)
 		go w.loop()
 	}
-	// Seed the root task on the source worker.
-	src := r.workers[r.cfg.Source]
-	rootTask := &rtTask{fn: func(c *Ctx) {
-		root(c)
-	}}
-	rootTask.isRoot = true
-	src.inject(rootTask)
-
-	// Estimation helper.
-	stopHelper := make(chan struct{})
-	helperDone := make(chan struct{})
+	r.stopHelper = make(chan struct{})
+	r.helperDone = make(chan struct{})
 	if r.ctrl != nil {
 		go func() {
-			defer close(helperDone)
-			r.helperLoop(stopHelper)
+			defer close(r.helperDone)
+			r.helperLoop(r.stopHelper)
 		}()
 	} else {
-		close(helperDone)
+		close(r.helperDone)
 	}
+}
 
-	<-r.rootDone
-	wall := nowNS() - r.startNS
+// teardown stops the helper and every worker and waits for them.
+func (r *Runtime) teardown() {
 	if r.ctrl != nil {
-		close(stopHelper)
+		close(r.stopHelper)
 	}
-	<-helperDone
-	// Stop all workers.
+	<-r.helperDone
 	for _, w := range r.workers {
 		w.stop()
 	}
 	r.wg.Wait()
+}
 
+// buildReport assembles the final accounting after all workers stopped.
+func (r *Runtime) buildReport(wall int64) *Report {
 	rep := &Report{
 		WallNS:    wall,
 		Workers:   map[topo.CoreID]*WorkerReport{},
@@ -338,8 +480,21 @@ func (r *Runtime) Run(root Func) (*Report, error) {
 		ws := w.stats
 		rep.Workers[id] = &ws
 	}
-	return rep, nil
+	return rep
 }
+
+// AllotmentSize returns the current granted allotment size.
+func (r *Runtime) AllotmentSize() int { return int(r.allotSize.Load()) }
+
+// Capacity returns the largest allotment size currently grantable: the
+// topology maximum clamped by any dynamic worker cap.
+func (r *Runtime) Capacity() int { return r.mgr.EffectiveMaxWorkers() }
+
+// SetMaxWorkers imposes (n > 0) or lifts (n <= 0) a dynamic worker-count
+// cap on future grants — the hook the multiprogramming arbiter uses to
+// redistribute cores between resident runtimes. Zone granularity applies;
+// see sysched.Manager.SetWorkerCap.
+func (r *Runtime) SetMaxWorkers(n int) { r.mgr.SetWorkerCap(n) }
 
 func (r *Runtime) recordTimeline(workers int) {
 	r.tlMu.Lock()
@@ -401,6 +556,16 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 		})
 		r.quanta.Add(1)
 		r.allotSize.Store(int64(next.Size()))
+		if r.cfg.OnQuantum != nil {
+			info := r.ctrl.Last()
+			r.cfg.OnQuantum(QuantumInfo{
+				Time:     nowNS() - r.startNS,
+				Raw:      info.Raw,
+				Filtered: info.Filtered,
+				Granted:  next.Size(),
+				Capacity: r.mgr.EffectiveMaxWorkers(),
+			})
+		}
 		if r.helperRing != nil {
 			ts := nowNS() - r.startNS
 			r.helperRing.Emit(obs.Event{
@@ -506,6 +671,11 @@ type worker struct {
 	busy  atomic.Bool
 	depth int
 
+	// pickup marks persistent-mode workers: when idle with nothing to
+	// steal, they pull new job roots from the runtime's submission queue.
+	// Written before the worker goroutine starts, read only by it.
+	pickup bool
+
 	// ring records structured events when tracing is enabled (nil
 	// otherwise). Only this worker's goroutine emits into it.
 	ring *obs.Ring
@@ -595,6 +765,17 @@ func (w *worker) loop() {
 			backoff = time.Microsecond
 			continue
 		}
+		// Persistent mode: an active worker with nothing to run and
+		// nothing to steal starts the next submitted job root.
+		if w.pickup {
+			select {
+			case t := <-w.rt.submitQ:
+				w.runTask(t)
+				backoff = time.Microsecond
+				continue
+			default:
+			}
+		}
 		t0 := nowNS()
 		time.Sleep(backoff)
 		atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
@@ -648,8 +829,7 @@ func (w *worker) runTask(t *rtTask) {
 	if w.depth == 0 {
 		w.busy.Store(false)
 	}
-	if t.isRoot {
-		w.rt.finished.Store(true)
-		close(w.rt.rootDone)
+	if t.onDone != nil {
+		t.onDone()
 	}
 }

@@ -1,6 +1,7 @@
 package wsrt
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -64,8 +65,12 @@ func TestRunIsSingleUse(t *testing.T) {
 	if _, err := rt.Run(func(c *Ctx) {}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt.Run(func(c *Ctx) {}); err == nil {
-		t.Fatal("second Run must fail")
+	if _, err := rt.Run(func(c *Ctx) {}); !errors.Is(err, ErrAlreadyUsed) {
+		t.Fatalf("second Run = %v, want ErrAlreadyUsed", err)
+	}
+	// The same single-use gate guards persistent mode.
+	if err := rt.Start(); !errors.Is(err, ErrAlreadyUsed) {
+		t.Fatalf("Start after Run = %v, want ErrAlreadyUsed", err)
 	}
 }
 

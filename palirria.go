@@ -16,7 +16,10 @@
 //     scheduler;
 //   - the paper's seven evaluation workloads plus synthetic extras, and a
 //     harness regenerating every figure and table of the evaluation
-//     (cmd/palirria-bench).
+//     (cmd/palirria-bench);
+//   - a persistent serving layer (Pool, Tenancy) that keeps the real
+//     runtime resident between jobs, with estimator-driven admission
+//     control and multi-tenant arbitration (cmd/palirria-serve).
 //
 // Quick start:
 //
@@ -34,6 +37,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"palirria/internal/asteal"
 	"palirria/internal/core"
@@ -41,6 +45,7 @@ import (
 	"palirria/internal/obs"
 	"palirria/internal/plot"
 	"palirria/internal/saws"
+	"palirria/internal/serve"
 	"palirria/internal/sim"
 	"palirria/internal/sysched"
 	"palirria/internal/task"
@@ -243,6 +248,61 @@ func GoRT[T any](c *RTCtx, fn func(*RTCtx) T) RTFuture[T] {
 // Join waits for (or inlines) the computation and returns its value. It
 // must be called in LIFO order among the task's outstanding spawns.
 func (f RTFuture[T]) Join(c *RTCtx) T { return f.inner.Join(c) }
+
+// Real-runtime sentinel errors, re-exported for callers of the facade
+// (internal/wsrt is unimportable from outside the module).
+var (
+	// ErrAlreadyUsed reports a second Run (or a Start after Run) on a
+	// single-use runtime.
+	ErrAlreadyUsed = wsrt.ErrAlreadyUsed
+	// ErrNotPersistent reports Submit/Shutdown on a batch-mode runtime.
+	ErrNotPersistent = wsrt.ErrNotPersistent
+	// ErrRuntimeClosed reports Submit after Shutdown.
+	ErrRuntimeClosed = wsrt.ErrClosed
+	// ErrSubmitQueueFull reports a saturated persistent submission queue.
+	ErrSubmitQueueFull = wsrt.ErrSubmitQueueFull
+)
+
+// --- Serving layer (package serve) ---------------------------------------
+
+// Pool is a persistent serving pool: a resident real runtime admitting a
+// continuous stream of fork/join jobs with bounded queues, estimator-driven
+// load shedding, and graceful drain. See NewPool.
+type Pool = serve.Pool
+
+// PoolConfig configures a serving pool.
+type PoolConfig = serve.Config
+
+// PoolStats is a point-in-time snapshot of a pool's serving counters.
+type PoolStats = serve.Stats
+
+// Tenancy redistributes worker shares among several resident pools over
+// one machine model (the paper's Fig. 2 two-level architecture, live).
+type Tenancy = serve.Tenancy
+
+// TenantStatus is one tenant's arbitration state.
+type TenantStatus = serve.TenantStatus
+
+// Serving-layer sentinel errors returned by Pool.Submit.
+var (
+	// ErrQueueFull reports a full admission queue.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrOverloaded reports estimator-driven load shedding.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrDraining reports a pool that no longer admits work.
+	ErrDraining = serve.ErrDraining
+	// ErrDiscarded reports a job discarded at shutdown before it ran.
+	ErrDiscarded = serve.ErrDiscarded
+)
+
+// NewPool builds a serving pool and starts its resident runtime.
+func NewPool(cfg PoolConfig) (*Pool, error) { return serve.New(cfg) }
+
+// NewTenancy builds a multi-tenant arbitration loop over the machine
+// model; interval is the re-arbitration period (<= 0 for the default).
+func NewTenancy(machine *Mesh, interval time.Duration) *Tenancy {
+	return serve.NewTenancy(machine, interval)
+}
 
 // --- Multiprogramming (package sysched) ----------------------------------
 

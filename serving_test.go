@@ -1,0 +1,82 @@
+package palirria
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServingFacade exercises the public serving layer end to end: pool,
+// tenancy, submit, drain, and the re-exported sentinels.
+func TestServingFacade(t *testing.T) {
+	mesh, err := NewMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(PoolConfig{
+		Name:    "web",
+		Runtime: RTConfig{Mesh: mesh, Quantum: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := NewTenancy(machine, 5*time.Millisecond)
+	if err := ten.Attach(pool, 5); err != nil {
+		t.Fatal(err)
+	}
+	ten.Start()
+
+	var n atomic.Int64
+	for i := 0; i < 4; i++ {
+		err := pool.Submit(context.Background(), func(c *RTCtx) {
+			c.Spawn(func(cc *RTCtx) { n.Add(1) })
+			c.Compute(1000)
+			c.Sync()
+			n.Add(1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d task bodies, want 8", n.Load())
+	}
+	var st PoolStats = pool.Stats()
+	if st.Completed != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if snap := ten.Snapshot(); len(snap) != 1 || snap[0].Name != "web" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := pool.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Submit(context.Background(), func(c *RTCtx) {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+	ten.Close()
+
+	// The batch-runtime sentinels are reachable through the facade too.
+	rt, err := NewRuntime(RTConfig{Mesh: machine, Quantum: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(func(c *RTCtx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(func(c *RTCtx) {}); !errors.Is(err, ErrAlreadyUsed) {
+		t.Fatalf("second Run = %v, want ErrAlreadyUsed", err)
+	}
+	if err := rt.Submit(func(c *RTCtx) {}, nil); !errors.Is(err, ErrNotPersistent) {
+		t.Fatalf("batch Submit = %v, want ErrNotPersistent", err)
+	}
+}
