@@ -13,6 +13,7 @@
 //	palirria-bench -ablations        # quantum/L/victim/filter/overhead
 //	palirria-bench -all              # everything
 //	palirria-bench -trace-out /tmp/fib.json -trace-workload fib
+//	palirria-bench -wsrt -bench-out BENCH_wsrt.json   # real-runtime idle-path benchmarks
 package main
 
 import (
@@ -35,8 +36,17 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	traceOut := flag.String("trace-out", "", "trace one simulator run to a Chrome trace_event JSON file and exit")
 	traceWL := flag.String("trace-workload", "fib", "workload for -trace-out")
+	wsrtB := flag.Bool("wsrt", false, "measure the real runtime's idle-path benchmarks (submit latency, steal throughput, idle burn) and exit")
+	benchOut := flag.String("bench-out", "BENCH_wsrt.json", "output path for the -wsrt JSON report")
 	flag.Parse()
 
+	if *wsrtB {
+		if err := wsrtBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *traceOut != "" {
 		if err := traceRun(*traceWL, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "palirria-bench:", err)

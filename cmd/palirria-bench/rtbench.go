@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"palirria/internal/topo"
+	"palirria/internal/wsrt"
+)
+
+// wsrtBenchReport is the machine-readable output of -wsrt: the idle-path
+// health metrics the CI benchmark gate tracks across commits. All
+// durations are nanoseconds.
+type wsrtBenchReport struct {
+	// SubmitToStart quantifies the latency from Submit returning to the
+	// job body executing, sampled with the runtime idle (workers parked)
+	// before every submission.
+	SubmitToStart struct {
+		Trials int   `json:"trials"`
+		P50NS  int64 `json:"p50_ns"`
+		P90NS  int64 `json:"p90_ns"`
+		P99NS  int64 `json:"p99_ns"`
+	} `json:"submit_to_start"`
+	// StealThroughput is achieved steals per second of wall time over a
+	// wide fan-out batch run.
+	StealThroughput struct {
+		Steals       int64   `json:"steals"`
+		WallNS       int64   `json:"wall_ns"`
+		StealsPerSec float64 `json:"steals_per_sec"`
+	} `json:"steal_throughput"`
+	// IdleBurn is search and parked time accumulated across all workers
+	// of an idle persistent runtime, normalized per wall-clock second.
+	// SearchNSPerSec near zero means the workers genuinely park.
+	IdleBurn struct {
+		WindowNS       int64   `json:"window_ns"`
+		Workers        int     `json:"workers"`
+		SearchNSPerSec float64 `json:"search_ns_per_sec"`
+		IdleNSPerSec   float64 `json:"idle_ns_per_sec"`
+		Parks          int64   `json:"parks"`
+	} `json:"idle_burn"`
+}
+
+// wsrtBench measures the real runtime's idle-path metrics and writes them
+// as JSON to path (the CI artifact BENCH_wsrt.json).
+func wsrtBench(path string) error {
+	var rep wsrtBenchReport
+	if err := benchSubmitToStart(&rep); err != nil {
+		return err
+	}
+	if err := benchStealThroughput(&rep); err != nil {
+		return err
+	}
+	if err := benchIdleBurn(&rep); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wsrt idle-path benchmarks -> %s\n", path)
+	fmt.Printf("  submit-to-start: p50=%s p90=%s p99=%s (%d trials)\n",
+		time.Duration(rep.SubmitToStart.P50NS), time.Duration(rep.SubmitToStart.P90NS),
+		time.Duration(rep.SubmitToStart.P99NS), rep.SubmitToStart.Trials)
+	fmt.Printf("  steal throughput: %.0f steals/sec (%d steals over %s)\n",
+		rep.StealThroughput.StealsPerSec, rep.StealThroughput.Steals,
+		time.Duration(rep.StealThroughput.WallNS))
+	fmt.Printf("  idle burn: search %.0f ns/sec, parked %.2e ns/sec, %d parks over %s x %d workers\n",
+		rep.IdleBurn.SearchNSPerSec, rep.IdleBurn.IdleNSPerSec, rep.IdleBurn.Parks,
+		time.Duration(rep.IdleBurn.WindowNS), rep.IdleBurn.Workers)
+	return nil
+}
+
+func benchSubmitToStart(rep *wsrtBenchReport) error {
+	rt, err := wsrt.New(wsrt.Config{
+		Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	const trials = 101
+	started := make(chan int64)
+	lat := make([]int64, 0, trials)
+	for i := 0; i < trials; i++ {
+		time.Sleep(2 * time.Millisecond) // let every worker park
+		t0 := time.Now().UnixNano()
+		if err := rt.Submit(func(*wsrt.Ctx) { started <- time.Now().UnixNano() }, nil); err != nil {
+			return err
+		}
+		lat = append(lat, <-started-t0)
+	}
+	if _, err := rt.Shutdown(); err != nil {
+		return err
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) int64 { return lat[int(p*float64(trials-1))] }
+	rep.SubmitToStart.Trials = trials
+	rep.SubmitToStart.P50NS = q(0.50)
+	rep.SubmitToStart.P90NS = q(0.90)
+	rep.SubmitToStart.P99NS = q(0.99)
+	return nil
+}
+
+func benchStealThroughput(rep *wsrtBenchReport) error {
+	rt, err := wsrt.New(wsrt.Config{
+		Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10,
+	})
+	if err != nil {
+		return err
+	}
+	r, err := rt.Run(func(c *wsrt.Ctx) {
+		for j := 0; j < 512; j++ {
+			c.Spawn(func(cc *wsrt.Ctx) { cc.Compute(20_000) })
+		}
+		c.SyncAll()
+	})
+	if err != nil {
+		return err
+	}
+	var steals int64
+	for _, w := range r.Workers {
+		steals += w.Steals
+	}
+	rep.StealThroughput.Steals = steals
+	rep.StealThroughput.WallNS = r.WallNS
+	if r.WallNS > 0 {
+		rep.StealThroughput.StealsPerSec = float64(steals) / (float64(r.WallNS) / 1e9)
+	}
+	return nil
+}
+
+func benchIdleBurn(rep *wsrtBenchReport) error {
+	rt, err := wsrt.New(wsrt.Config{
+		Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	// Prime the steal path once, then hold the runtime idle.
+	done := make(chan struct{})
+	var ran atomic.Bool
+	if err := rt.Submit(func(c *wsrt.Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Spawn(func(cc *wsrt.Ctx) { cc.Compute(20_000) })
+		}
+		c.SyncAll()
+		ran.Store(true)
+	}, func() { close(done) }); err != nil {
+		return err
+	}
+	<-done
+	time.Sleep(2 * time.Millisecond) // drain the post-job spin budget
+	const window = 300 * time.Millisecond
+	t0 := time.Now().UnixNano()
+	time.Sleep(window)
+	wall := time.Now().UnixNano() - t0
+	parks, _ := rt.IdleStats()
+	r, err := rt.Shutdown()
+	if err != nil {
+		return err
+	}
+	var search, idle int64
+	for _, w := range r.Workers {
+		search += w.SearchNS
+		idle += w.IdleNS
+	}
+	// Search/idle totals include the priming job's run-up; over a 300ms
+	// window the idle phase dominates and the run-up is noise. The gate
+	// watches the order of magnitude, not the last nanosecond.
+	rep.IdleBurn.WindowNS = wall
+	rep.IdleBurn.Workers = len(r.Workers)
+	rep.IdleBurn.Parks = parks
+	rep.IdleBurn.SearchNSPerSec = float64(search) / (float64(wall) / 1e9)
+	rep.IdleBurn.IdleNSPerSec = float64(idle) / (float64(wall) / 1e9)
+	return nil
+}

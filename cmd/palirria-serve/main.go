@@ -129,6 +129,7 @@ func newServer(opts options) (*server, error) {
 			Runtime: wsrt.Config{
 				Mesh:    mesh,
 				Quantum: opts.quantum,
+				Metrics: s.reg,
 			},
 			QueueCap:   opts.queueCap,
 			ShedQuanta: opts.shedQuanta,

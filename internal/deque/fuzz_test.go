@@ -7,6 +7,10 @@ import "testing"
 func FuzzQueueModel(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 0, 0, 2, 1})
 	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1})
+	// Overfill, drain by steals, then refill: exercises the rejected-push
+	// path (the runtime retries PushBottom against a full queue and runs
+	// the child inline) and the top-index wrap it races against.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2, 2, 2, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, tape []byte) {
 		q := MustQueue[int](8, 4)
 		var model []int
@@ -66,6 +70,10 @@ func FuzzQueueModel(f *testing.F) {
 // by the stress tests; this explores ring-wrap and emptiness edges).
 func FuzzChaseLevSequential(f *testing.F) {
 	f.Add([]byte{0, 0, 2, 1, 0, 2, 2})
+	// Full ring refused pushes followed by steal-drain and a second fill
+	// wave: the wsrt inline-execution fallback depends on a refused
+	// PushBottom leaving the ring intact for later pushes.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2, 2, 2, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1})
 	f.Fuzz(func(t *testing.T, tape []byte) {
 		d := MustChaseLev[int](8)
 		var model []int

@@ -46,6 +46,12 @@ type Policy interface {
 	// returned slice must not be modified by the caller and is only valid
 	// until the next Victims call for the same worker.
 	Victims(w topo.CoreID) []topo.CoreID
+	// VictimsInto writes the ordered victim candidates for worker w into
+	// buf (typically buf[:0] of a caller-owned slice) and returns the
+	// result. The returned slice always aliases buf's backing array (grown
+	// if needed), never policy-internal storage, so steal probes that
+	// reuse a per-worker buffer do zero heap allocations at steady state.
+	VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID
 }
 
 // fallbackVictims is the maximum number of nearest-member fallback victims
@@ -141,6 +147,11 @@ func (d *DVS) Name() string { return "dvs" }
 
 // Victims implements Policy. Workers not in the allotment get an empty list.
 func (d *DVS) Victims(w topo.CoreID) []topo.CoreID { return d.victims[w] }
+
+// VictimsInto implements Policy: the precomputed list is copied into buf.
+func (d *DVS) VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID {
+	return append(buf, d.victims[w]...)
+}
 
 // buildVictims assembles the ordered victim list for worker w according to
 // its class. Each tier is sorted by core id so the order is deterministic.
@@ -319,6 +330,23 @@ func (r *Random) Victims(w topo.CoreID) []topo.CoreID {
 	return st.buf
 }
 
+// VictimsInto implements Policy: a fresh shuffle written into buf. The
+// worker's deterministic stream still advances exactly once per call, so
+// Victims and VictimsInto are interchangeable mid-run.
+func (r *Random) VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID {
+	st := r.streams[w]
+	if st == nil {
+		return buf
+	}
+	for _, v := range r.members {
+		if v != w {
+			buf = append(buf, v)
+		}
+	}
+	shuffleCores(st.rng, buf[len(buf)-len(st.buf):])
+	return buf
+}
+
 func shuffleCores(rng *xrand.Xoshiro256, p []topo.CoreID) {
 	for i := len(p) - 1; i > 0; i-- {
 		j := rng.Intn(i + 1)
@@ -359,3 +387,8 @@ func (rr *RoundRobin) Name() string { return "roundrobin" }
 
 // Victims implements Policy.
 func (rr *RoundRobin) Victims(w topo.CoreID) []topo.CoreID { return rr.lists[w] }
+
+// VictimsInto implements Policy: the fixed cyclic list is copied into buf.
+func (rr *RoundRobin) VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID {
+	return append(buf, rr.lists[w]...)
+}

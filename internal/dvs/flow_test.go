@@ -114,3 +114,6 @@ type brokenPolicy struct{}
 
 func (brokenPolicy) Name() string                      { return "broken" }
 func (brokenPolicy) Victims(topo.CoreID) []topo.CoreID { return nil }
+func (brokenPolicy) VictimsInto(_ topo.CoreID, buf []topo.CoreID) []topo.CoreID {
+	return buf
+}

@@ -58,6 +58,9 @@ const (
 	// KindQuantum: an estimation quantum boundary. Arg is the desired
 	// worker count the controller forwarded to the system layer.
 	KindQuantum
+	// KindPark: Worker woke from an event-driven park. Arg is the
+	// nanoseconds spent blocked (idle, not searching).
+	KindPark
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -82,6 +85,8 @@ func (k Kind) String() string {
 		return "retire"
 	case KindQuantum:
 		return "quantum"
+	case KindPark:
+		return "park"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -110,6 +110,11 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Runtime.SubmitQueueCap < cfg.QueueCap {
 		cfg.Runtime.SubmitQueueCap = cfg.QueueCap
 	}
+	// A runtime sharing a registry with other pools needs its worker
+	// series kept distinct; default the label to the pool name.
+	if cfg.Runtime.Metrics != nil && len(cfg.Runtime.MetricLabels) == 0 {
+		cfg.Runtime.MetricLabels = []obs.Label{{Key: "pool", Value: cfg.Name}}
+	}
 	p := &Pool{
 		cfg:       cfg,
 		slots:     make(chan struct{}, cfg.QueueCap),

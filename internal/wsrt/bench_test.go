@@ -1,0 +1,141 @@
+package wsrt
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStealOnceZeroAllocs guards the allocation-free steal path: one probe
+// sweep plus a successful steal and task execution must not touch the heap
+// at steady state. VictimsInto fills the worker-owned victimBuf and the Ctx
+// free list recycles frames, so after AllocsPerRun's warm-up call every
+// iteration reuses the same storage.
+func TestStealOnceZeroAllocs(t *testing.T) {
+	rt, err := New(Config{Mesh: smallMesh(t), Source: 0, InitialDiaspora: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runtime is built but never launched: the test goroutine plays
+	// both the victim's owner (PushBottom) and the thief (stealOnce).
+	b := rt.loadPolicy()
+	if b == nil {
+		t.Fatal("no policy installed")
+	}
+	var thief, victim *worker
+	for id, w := range rt.workers {
+		if vs := b.policy.Victims(id); len(vs) > 0 {
+			thief, victim = w, rt.workers[vs[0]]
+			break
+		}
+	}
+	if thief == nil || victim == nil {
+		t.Fatal("no (thief, victim) pair in the victim graph")
+	}
+	task := &rtTask{fn: func(*Ctx) {}}
+	allocs := testing.AllocsPerRun(100, func() {
+		task.done.Store(false)
+		if !victim.deque.PushBottom(task) {
+			t.Fatal("victim deque full")
+		}
+		if !thief.stealOnce() {
+			t.Fatal("steal probe found nothing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("stealOnce path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSubmitToStart measures the latency from Submit returning to the
+// job body running, with the runtime idle (all workers parked) before each
+// submission — the path the event-driven wakeup protocol exists for. The
+// seed's exponential backoff put a median of ~128µs here; the blocking
+// select on submitQ delivers the job in the channel send itself.
+func BenchmarkSubmitToStart(b *testing.B) {
+	rt, err := New(Config{Mesh: smallMesh(b), Source: 0, InitialDiaspora: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Shutdown()
+	started := make(chan int64)
+	lat := make([]float64, 0, b.N)
+	time.Sleep(2 * time.Millisecond) // let the workers park
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := nowNS()
+		if err := rt.Submit(func(*Ctx) { started <- nowNS() }, nil); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, float64(<-started-t0))
+		time.Sleep(500 * time.Microsecond) // re-park between samples
+	}
+	b.StopTimer()
+	sort.Float64s(lat)
+	b.ReportMetric(lat[len(lat)/2], "p50-ns")
+	b.ReportMetric(lat[(len(lat)-1)*99/100], "p99-ns")
+}
+
+// BenchmarkStealThroughput runs a wide fan-out batch and reports achieved
+// steals per second of wall time — the probe path's effective bandwidth.
+func BenchmarkStealThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rt, err := New(Config{Mesh: smallMesh(b), Source: 0, InitialDiaspora: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Run(func(c *Ctx) {
+			for j := 0; j < 256; j++ {
+				c.Spawn(func(cc *Ctx) { cc.Compute(20_000) })
+			}
+			c.SyncAll()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var steals int64
+		for _, w := range rep.Workers {
+			steals += w.Steals
+		}
+		b.ReportMetric(float64(steals)/(float64(rep.WallNS)/1e9), "steals/sec")
+	}
+}
+
+// BenchmarkIdleSearch holds a persistent runtime idle and reports search
+// nanoseconds burned per wall-clock second. Parked workers accumulate
+// IdleNS, not SearchNS, so with event-driven parking this rate collapses
+// to the bounded pre-park spins; the seed's sleep-backoff loop kept every
+// idle worker perpetually re-sweeping its victims instead.
+func BenchmarkIdleSearch(b *testing.B) {
+	rt, err := New(Config{Mesh: smallMesh(b), Source: 0, InitialDiaspora: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // settle into the parked state
+	searchSum := func() int64 {
+		var s int64
+		for _, w := range rt.workers {
+			s += atomic.LoadInt64(&w.stats.SearchNS)
+		}
+		return s
+	}
+	s0, t0 := searchSum(), nowNS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		time.Sleep(20 * time.Millisecond)
+	}
+	b.StopTimer()
+	wall := nowNS() - t0
+	ds := searchSum() - s0
+	if _, err := rt.Shutdown(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(ds)/(float64(wall)/1e9), "searchns/wallsec")
+}

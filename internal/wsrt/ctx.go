@@ -40,10 +40,11 @@ func (c *Ctx) Spawn(fn Func) {
 	t := &rtTask{fn: fn}
 	if c.w.deque.PushBottom(t) {
 		n := int32(c.w.deque.Len())
-		if n > c.w.hwm.Load() {
-			c.w.hwm.Store(n)
-		}
+		c.w.noteSpawn(n)
 		c.w.emit(obs.KindSpawn, obs.NoWorker, int64(n))
+		// The push made work visible; wake one announced idle thief (the
+		// no-waiters fast path is a single atomic load — see idle.go).
+		c.w.wakeOneThief()
 	} else {
 		c.w.runTask(t)
 	}
@@ -86,7 +87,7 @@ func (c *Ctx) Sync() {
 			} else {
 				t0 := nowNS()
 				time.Sleep(5 * time.Microsecond)
-				atomic.AddInt64(&c.w.stats.SearchNS, nowNS()-t0)
+				c.w.addSearch(nowNS() - t0)
 			}
 		} else {
 			spins = 0
@@ -138,9 +139,10 @@ func SpecFunc(s *task.Spec) Func {
 				// A call gets its own frame scope: its spawns join inside
 				// it, never leaking into the parent's pending list.
 				child := op.Gen()
-				sub := &Ctx{w: c.w}
+				sub := c.w.ctxGet()
 				SpecFunc(child)(sub)
 				sub.joinAll()
+				c.w.ctxPut(sub)
 			case task.OpSync:
 				c.Sync()
 			}

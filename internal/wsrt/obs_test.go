@@ -132,3 +132,42 @@ func TestTracingDisabledByDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWorkerTimeAccountingInvariant pins the exclusive time-accounting
+// rule: every worker nanosecond lands in exactly one of UsefulNS,
+// SearchNS, or IdleNS, so their sum never exceeds the worker's wall time.
+// The seed double-counted here — Sync's leapfrog steals charged SearchNS
+// inside a window that runTask then also charged whole to UsefulNS — so
+// deep-syncing workloads reported sums well above 100% of wall time.
+//
+// The bound uses wall time measured around Run *including teardown*,
+// because workers keep accumulating idle time between root completion and
+// their stop token; rep.WallNS stops at root completion and would
+// spuriously trip the bound.
+func TestWorkerTimeAccountingInvariant(t *testing.T) {
+	rt, err := New(Config{
+		Mesh: smallMesh(t), Source: 0,
+		Estimator: core.NewPalirria(),
+		Quantum:   500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := nowNS()
+	rep, err := rt.Run(fanRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outerWall := nowNS() - t0 // Run returns after teardown: all workers stopped
+	const slack = int64(time.Millisecond)
+	for id, wr := range rep.Workers {
+		sum := wr.UsefulNS + wr.SearchNS + wr.IdleNS
+		if sum > outerWall+slack {
+			t.Errorf("worker %d: useful(%d)+search(%d)+idle(%d) = %d exceeds wall %d — time double-counted",
+				id, wr.UsefulNS, wr.SearchNS, wr.IdleNS, sum, outerWall)
+		}
+		if wr.Tasks > 0 && wr.UsefulNS <= 0 {
+			t.Errorf("worker %d ran %d tasks but reports %dns useful time", id, wr.Tasks, wr.UsefulNS)
+		}
+	}
+}

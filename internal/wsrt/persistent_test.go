@@ -2,6 +2,7 @@ package wsrt
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -243,5 +244,78 @@ func TestPersistentAdaptiveGrowsAndShrinksWhileResident(t *testing.T) {
 	}
 	if shrunk >= rep.MaxWorkers {
 		t.Fatalf("allotment did not shrink in the valley: %d (peak %d)", shrunk, rep.MaxWorkers)
+	}
+}
+
+func TestSubmitLatencyAfterIdle(t *testing.T) {
+	// Submit-to-start latency with the runtime idle before every
+	// submission. The seed's idle loop slept on an exponential backoff
+	// capped at 256µs, so a job submitted into a quiet runtime waited for
+	// someone's timer to expire — median ≈128µs. With parked workers
+	// blocking directly on the submission queue, the Submit send is the
+	// wakeup, and the median collapses to scheduler-switch cost. The
+	// 100µs bound is loose enough for CI noise yet impossible for the
+	// old backoff loop to meet.
+	rt, err := New(Config{Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 101
+	lat := make([]int64, 0, trials)
+	started := make(chan int64)
+	for i := 0; i < trials; i++ {
+		time.Sleep(2 * time.Millisecond) // let every worker park
+		t0 := nowNS()
+		if err := rt.Submit(func(*Ctx) { started <- nowNS() }, nil); err != nil {
+			t.Fatal(err)
+		}
+		lat = append(lat, <-started-t0)
+	}
+	if _, err := rt.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	median := lat[trials/2]
+	t.Logf("submit-to-start: p50=%s p99=%s",
+		time.Duration(median), time.Duration(lat[trials-2]))
+	if median > 100*time.Microsecond.Nanoseconds() {
+		t.Fatalf("median submit-to-start latency %s exceeds 100µs — idle path regressed to polling",
+			time.Duration(median))
+	}
+}
+
+func TestShutdownLatencyBounded(t *testing.T) {
+	// Shutdown of an idle persistent runtime must complete promptly: every
+	// parked or idle-waiting worker is woken by an explicit token, never by
+	// a timeout fallback. A regression that loses the stop wakeup would
+	// hang forever; one that reintroduces a timed park would show up as
+	// multi-hundred-millisecond shutdowns.
+	rt, err := New(Config{
+		Mesh: topo.MustMesh(4, 4), Source: 5,
+		Estimator: core.NewPalirria(),
+		Quantum:   500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	submitAndWait(t, rt, func(c *Ctx) {
+		for i := 0; i < 16; i++ {
+			c.Spawn(func(cc *Ctx) { cc.Compute(50_000) })
+		}
+		c.SyncAll()
+	})
+	time.Sleep(5 * time.Millisecond) // everyone back to parked/idle
+	t0 := time.Now()
+	if _, err := rt.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d > 500*time.Millisecond {
+		t.Fatalf("Shutdown of an idle runtime took %s — a worker missed its stop wakeup", d)
 	}
 }

@@ -109,9 +109,15 @@ type Config struct {
 	// (requires Tracer and an Estimator).
 	Introspect bool
 	// Metrics registers the runtime's live counters and gauges (steals,
-	// failed probes, tasks, allotment size, per-worker useful/search time)
-	// on the registry; serve it with obs.Serve. Nil disables registration.
+	// failed probes, tasks, allotment size, parked waiters, wakeups,
+	// per-worker useful/search/idle time) on the registry; serve it with
+	// obs.Serve. Nil disables registration.
 	Metrics *obs.Registry
+	// MetricLabels are appended to every metric series this runtime
+	// registers. Serving layers that put several resident runtimes on one
+	// shared registry (one per tenant pool) use them to keep the series
+	// distinct; empty is fine for a single runtime.
+	MetricLabels []obs.Label
 
 	// OnQuantum, when set, is invoked by the estimation helper after every
 	// quantum's grant with that quantum's digest. It runs on the helper
@@ -125,10 +131,18 @@ type Config struct {
 // WorkerReport is one worker's accounting, in nanoseconds where the
 // simulator reports cycles.
 type WorkerReport struct {
-	// UsefulNS is time spent executing tasks.
+	// UsefulNS is time spent executing task bodies. Nested task execution
+	// (Sync inlining, leapfrog steals) is attributed to exactly one task,
+	// so UsefulNS + SearchNS + IdleNS never exceeds the worker's wall time.
 	UsefulNS int64
-	// SearchNS is time spent looking for work (probing and backoff).
+	// SearchNS is time actively spent looking for work: steal probes and
+	// the bounded pre-park spin. Parked time is not search time — that
+	// split is what lets the estimators see true wasted effort.
 	SearchNS int64
+	// IdleNS is time spent blocked in the event-driven park (no work
+	// anywhere, waiting for a wakeup). The estimation helper charges it to
+	// WastedCycles together with SearchNS, preserving ASTEAL's view.
+	IdleNS int64
 	// Tasks, Steals, FailedProbes count events.
 	Tasks, Steals, FailedProbes int64
 }
@@ -163,7 +177,13 @@ type Runtime struct {
 	ctrl *core.Controller
 
 	workers map[topo.CoreID]*worker
-	policy  atomic.Value // dvs.Policy over the resident set
+	policy  atomic.Value // *policyBundle over the resident set
+
+	// idle-path state: idleWaiters counts announced waiters (the fast-path
+	// gate of every wake probe), parks and wakeups feed the live metrics.
+	idleWaiters atomic.Int64
+	parks       atomic.Int64
+	wakeups     atomic.Int64
 
 	rootDone chan struct{}
 	started  atomic.Bool
@@ -187,6 +207,15 @@ type Runtime struct {
 	helperRing *obs.Ring
 	allotSize  atomic.Int64
 	quanta     atomic.Int64
+
+	// qseq is the estimation-quantum sequence number. Workers reset their
+	// µ(Q) high-water mark lazily on the first spawn of each quantum
+	// (noteSpawn) rather than the helper zeroing it: on an oversubscribed
+	// host a worker may get no CPU at all between two quantum boundaries,
+	// and a zeroed mark would then misreport "no parallelism here" when
+	// the truth is "the OS scheduler didn't run me". The lazy reset makes
+	// the helper sample each worker's most recent active window instead.
+	qseq atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -288,24 +317,48 @@ func (r *Runtime) registerMetrics(reg *obs.Registry) {
 			return float64(t)
 		}
 	}
+	base := r.cfg.MetricLabels
 	reg.CounterFunc("palirria_steals_total", "Successful steals across all workers.",
-		sum(func(w *worker) *int64 { return &w.stats.Steals }))
+		sum(func(w *worker) *int64 { return &w.stats.Steals }), base...)
 	reg.CounterFunc("palirria_failed_probes_total", "Steal probes that found nothing stealable.",
-		sum(func(w *worker) *int64 { return &w.stats.FailedProbes }))
+		sum(func(w *worker) *int64 { return &w.stats.FailedProbes }), base...)
 	reg.CounterFunc("palirria_tasks_total", "Tasks executed to completion.",
-		sum(func(w *worker) *int64 { return &w.stats.Tasks }))
+		sum(func(w *worker) *int64 { return &w.stats.Tasks }), base...)
 	reg.CounterFunc("palirria_quanta_total", "Estimation quanta processed.",
-		func() float64 { return float64(r.quanta.Load()) })
+		func() float64 { return float64(r.quanta.Load()) }, base...)
 	reg.GaugeFunc("palirria_allotment_workers", "Current allotment size.",
-		func() float64 { return float64(r.allotSize.Load()) })
+		func() float64 { return float64(r.allotSize.Load()) }, base...)
+	reg.GaugeFunc("palirria_idle_waiters", "Workers currently announced as idle waiters.",
+		func() float64 { return float64(r.idleWaiters.Load()) }, base...)
+	reg.CounterFunc("palirria_parks_total", "Times a worker blocked in the event-driven idle path.",
+		func() float64 { return float64(r.parks.Load()) }, base...)
+	reg.CounterFunc("palirria_wakeups_total", "Wake tokens delivered to announced idle workers.",
+		func() float64 { return float64(r.wakeups.Load()) }, base...)
 	for id, w := range r.workers {
 		w := w
-		lbl := obs.Label{Key: "core", Value: fmt.Sprint(id)}
+		lbls := append(append([]obs.Label(nil), base...), obs.Label{Key: "core", Value: fmt.Sprint(id)})
 		reg.GaugeFunc("palirria_worker_useful_ns", "Nanoseconds spent executing tasks.",
-			func() float64 { return float64(atomic.LoadInt64(&w.stats.UsefulNS)) }, lbl)
+			func() float64 { return float64(atomic.LoadInt64(&w.stats.UsefulNS)) }, lbls...)
 		reg.GaugeFunc("palirria_worker_search_ns", "Nanoseconds spent searching for work.",
-			func() float64 { return float64(atomic.LoadInt64(&w.stats.SearchNS)) }, lbl)
+			func() float64 { return float64(atomic.LoadInt64(&w.stats.SearchNS)) }, lbls...)
+		reg.GaugeFunc("palirria_worker_idle_ns", "Nanoseconds spent parked waiting for work.",
+			func() float64 { return float64(atomic.LoadInt64(&w.stats.IdleNS)) }, lbls...)
 	}
+}
+
+// policyBundle pairs the victim policy over the resident set with its
+// reverse steal graph: thieves[v] lists the workers that have v on their
+// victim list. Producers use it to wake an idle thief after making work
+// visible in v's deque; both pointers are immutable once the bundle is
+// stored, so readers never take a lock.
+type policyBundle struct {
+	policy  dvs.Policy
+	thieves map[topo.CoreID][]*worker
+}
+
+func (r *Runtime) loadPolicy() *policyBundle {
+	b, _ := r.policy.Load().(*policyBundle)
+	return b
 }
 
 // rebuildPolicy installs victim lists over the resident set (granted plus
@@ -330,7 +383,21 @@ func (r *Runtime) rebuildPolicy(granted *topo.Allotment) {
 	} else {
 		p = dvs.New(topo.Classify(resident))
 	}
-	r.policy.Store(p)
+	// Reverse the victim lists into a wake graph. The bundle is built
+	// before it is published, so probing Victims here cannot race worker
+	// calls (the random policy's per-worker streams are not shared until
+	// the Store).
+	thieves := make(map[topo.CoreID][]*worker, len(r.workers))
+	for _, id := range resident.Members() {
+		tw := r.workers[id]
+		if tw == nil {
+			continue
+		}
+		for _, v := range p.Victims(id) {
+			thieves[v] = append(thieves[v], tw)
+		}
+	}
+	r.policy.Store(&policyBundle{policy: p, thieves: thieves})
 }
 
 // Run executes root to completion and returns the report. Run is the
@@ -486,6 +553,13 @@ func (r *Runtime) buildReport(wall int64) *Report {
 // AllotmentSize returns the current granted allotment size.
 func (r *Runtime) AllotmentSize() int { return int(r.allotSize.Load()) }
 
+// IdleStats reports the cumulative park and wakeup counts of the
+// event-driven idle path (the same values metrics export as
+// palirria_parks_total and palirria_wakeups_total).
+func (r *Runtime) IdleStats() (parks, wakeups int64) {
+	return r.parks.Load(), r.wakeups.Load()
+}
+
 // Capacity returns the largest allotment size currently grantable: the
 // topology maximum clamped by any dynamic worker cap.
 func (r *Runtime) Capacity() int { return r.mgr.EffectiveMaxWorkers() }
@@ -526,18 +600,26 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 		snaps := make(map[topo.CoreID]*core.WorkerSnapshot, granted.Size())
 		for _, id := range granted.Members() {
 			w := r.workers[id]
-			total := atomic.LoadInt64(&w.stats.SearchNS)
+			// Wasted effort is search plus parked time: the estimators'
+			// WastedCycles semantics predate event-driven parking, and a
+			// parked worker is exactly as wasted as a probing one — it just
+			// no longer burns a core to prove it.
+			total := atomic.LoadInt64(&w.stats.SearchNS) + atomic.LoadInt64(&w.stats.IdleNS)
 			delta := total - lastWasted[id]
 			lastWasted[id] = total
 			snaps[id] = &core.WorkerSnapshot{
 				ID:           id,
 				QueueLen:     w.deque.Len(),
-				MaxQueueLen:  int(w.hwm.Swap(0)),
+				MaxQueueLen:  int(w.hwm.Load()),
 				Busy:         w.busy.Load(),
 				WastedCycles: delta,
 				Draining:     w.state.Load() == stateDraining,
 			}
 		}
+		// The marks above belong to the window that just closed; open the
+		// next one — workers reset their hwm on their first spawn under
+		// the new sequence number.
+		r.qseq.Add(1)
 		snap := &core.Snapshot{
 			Allotment:     granted,
 			Class:         class,
@@ -589,7 +671,14 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 		// Drain workers leaving the grant; activate workers entering it.
 		for _, id := range granted.Members() {
 			if !next.Contains(id) {
-				r.workers[id].state.CompareAndSwap(stateActive, stateDraining)
+				w := r.workers[id]
+				if w.state.CompareAndSwap(stateActive, stateDraining) {
+					// A revoked worker may be blocked in idleWait; deliver a
+					// token so it observes the drain now instead of at the
+					// next unrelated wakeup.
+					r.clearIdle(w)
+					w.unpark()
+				}
 			}
 		}
 		for _, id := range next.Members() {
@@ -606,6 +695,9 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 			}
 		}
 		r.rebuildPolicy(next)
+		// Waiters may have parked against the old victim lists; wake them
+		// all so they re-announce against the new ones (see wakeAllIdle).
+		r.wakeAllIdle()
 		r.recordTimeline(next.Size())
 	}
 }
@@ -664,8 +756,11 @@ type worker struct {
 	state atomic.Int32
 	parkC chan struct{}
 
-	// hwm is the per-quantum µ(Q) high-water mark.
-	hwm atomic.Int32
+	// hwm is the µ(Q) queue-length high-water mark of the worker's most
+	// recent active quantum; hwmSeq is the quantum it belongs to
+	// (owner-only — see Runtime.qseq for the lazy reset protocol).
+	hwm    atomic.Int32
+	hwmSeq int64
 	// busy reports a task currently executing; depth tracks runTask
 	// nesting (owner-only).
 	busy  atomic.Bool
@@ -676,11 +771,73 @@ type worker struct {
 	// Written before the worker goroutine starts, read only by it.
 	pickup bool
 
+	// waiting is the worker's announced-idle flag: the prepare half of the
+	// parking protocol (see idle.go). Set by the worker before it blocks,
+	// CAS-consumed by exactly one waker (or the worker itself on wake).
+	waiting atomic.Bool
+	// victimBuf is the worker-owned scratch buffer VictimsInto fills, so
+	// steal probes do zero heap allocations at steady state (owner-only).
+	victimBuf []topo.CoreID
+	// ctxFree recycles Ctx frames: runTask nests strictly, so a LIFO free
+	// list bounds allocations by the deepest nesting seen (owner-only).
+	ctxFree []*Ctx
+	// excluded accumulates, within the innermost running task's window,
+	// time that belongs to someone else: nested runTask spans and search
+	// waits. runTask subtracts it so each nanosecond lands in exactly one
+	// of UsefulNS / SearchNS / IdleNS (owner-only).
+	excluded int64
+	// spins counts consecutive failed sweeps toward the idleSpins budget
+	// (owner-only).
+	spins int
+
 	// ring records structured events when tracing is enabled (nil
 	// otherwise). Only this worker's goroutine emits into it.
 	ring *obs.Ring
 
 	stats WorkerReport
+}
+
+// noteSpawn folds a post-push queue length into the µ(Q) high-water mark,
+// resetting it first when this is the worker's first spawn of the current
+// estimation quantum (the lazy reset — see Runtime.qseq).
+func (w *worker) noteSpawn(n int32) {
+	if seq := w.rt.qseq.Load(); seq != w.hwmSeq {
+		w.hwmSeq = seq
+		w.hwm.Store(n)
+		return
+	}
+	if n > w.hwm.Load() {
+		w.hwm.Store(n)
+	}
+}
+
+// addSearch charges dt nanoseconds of search time, excluding it from any
+// enclosing task's useful window.
+func (w *worker) addSearch(dt int64) {
+	atomic.AddInt64(&w.stats.SearchNS, dt)
+	w.excluded += dt
+}
+
+// addIdle charges dt nanoseconds of parked time (always at depth 0).
+func (w *worker) addIdle(dt int64) {
+	atomic.AddInt64(&w.stats.IdleNS, dt)
+	w.excluded += dt
+}
+
+// ctxGet pops a recycled Ctx or allocates the free list's first tenant.
+func (w *worker) ctxGet() *Ctx {
+	if n := len(w.ctxFree); n > 0 {
+		c := w.ctxFree[n-1]
+		w.ctxFree = w.ctxFree[:n-1]
+		return c
+	}
+	return &Ctx{w: w}
+}
+
+// ctxPut returns a finished frame's Ctx to the free list.
+func (w *worker) ctxPut(c *Ctx) {
+	c.pending = c.pending[:0]
+	w.ctxFree = append(w.ctxFree, c)
 }
 
 // emit records one structured event. The disabled path is a nil check.
@@ -721,6 +878,7 @@ func (w *worker) unpark() {
 
 func (w *worker) stop() {
 	w.state.Store(stateStopped)
+	w.rt.clearIdle(w)
 	w.unpark()
 }
 
@@ -732,16 +890,15 @@ func (w *worker) loop() {
 		setAffinity(int(w.id))
 		defer runtime.UnlockOSThread()
 	}
-	backoff := time.Microsecond
 	for {
 		switch w.state.Load() {
 		case stateStopped:
 			return
 		case stateParked:
-			select {
-			case <-w.parkC:
-			case <-time.After(time.Millisecond):
-			}
+			// Outside the allotment: block until a grant or stop delivers
+			// a token (no timeout — both wake paths store their reason
+			// before unparking, so a wake is never missed).
+			w.parkBlocked()
 			continue
 		}
 		if w.rt.finished.Load() {
@@ -750,7 +907,7 @@ func (w *worker) loop() {
 		// Own queue first.
 		if t, ok := w.deque.PopBottom(); ok {
 			w.runTask(t)
-			backoff = time.Microsecond
+			w.spins = 0
 			continue
 		}
 		if w.state.Load() == stateDraining {
@@ -762,7 +919,7 @@ func (w *worker) loop() {
 		}
 		// Steal.
 		if w.stealOnce() {
-			backoff = time.Microsecond
+			w.spins = 0
 			continue
 		}
 		// Persistent mode: an active worker with nothing to run and
@@ -771,43 +928,58 @@ func (w *worker) loop() {
 			select {
 			case t := <-w.rt.submitQ:
 				w.runTask(t)
-				backoff = time.Microsecond
+				w.spins = 0
 				continue
 			default:
 			}
 		}
-		t0 := nowNS()
-		time.Sleep(backoff)
-		atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
-		if backoff < 256*time.Microsecond {
-			backoff *= 2
+		// Bounded spin: a few yielding re-sweeps catch work that is just
+		// about to appear, then the worker commits to the parking protocol
+		// instead of burning a core on exponential sleep.
+		w.spins++
+		if w.spins < idleSpins {
+			t0 := nowNS()
+			runtime.Gosched()
+			w.addSearch(nowNS() - t0)
+			continue
 		}
+		w.spins = 0
+		w.idleWait()
 	}
 }
 
 // stealOnce probes the victim list once and executes a stolen task if any.
+// The probe sequence is allocation-free: the victim list is materialized
+// into the worker-owned victimBuf via VictimsInto (guarded by
+// TestStealOnceZeroAllocs).
 func (w *worker) stealOnce() bool {
-	p, _ := w.rt.policy.Load().(dvs.Policy)
-	if p == nil {
+	b := w.rt.loadPolicy()
+	if b == nil {
 		return false
 	}
 	t0 := nowNS()
-	for _, v := range p.Victims(w.id) {
+	w.victimBuf = b.policy.VictimsInto(w.id, w.victimBuf[:0])
+	for _, v := range w.victimBuf {
 		vw := w.rt.workers[v]
 		if vw == nil {
 			continue
 		}
 		if t, ok := vw.deque.StealTop(); ok {
-			atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
+			w.addSearch(nowNS() - t0)
 			atomic.AddInt64(&w.stats.Steals, 1)
 			w.emit(obs.KindSteal, int32(v), 0)
+			// Wake chaining: the victim still has work, so pass the signal
+			// on to its next idle thief before running the stolen task.
+			if vw.deque.Len() > 0 {
+				vw.wakeOneThief()
+			}
 			w.runTask(t)
 			return true
 		}
 		atomic.AddInt64(&w.stats.FailedProbes, 1)
 		w.emit(obs.KindProbeFail, int32(v), 0)
 	}
-	atomic.AddInt64(&w.stats.SearchNS, nowNS()-t0)
+	w.addSearch(nowNS() - t0)
 	return false
 }
 
@@ -818,16 +990,29 @@ func (w *worker) runTask(t *rtTask) {
 	w.depth++
 	w.busy.Store(true)
 	t0 := nowNS()
-	ctx := &Ctx{w: w}
+	// Exclusive accounting: this frame's window starts with a clean
+	// exclusion accumulator; nested runTask spans and search waits add to
+	// it, and only the remainder is this task's own useful time.
+	prevExcl := w.excluded
+	w.excluded = 0
+	ctx := w.ctxGet()
 	t.fn(ctx)
 	ctx.joinAll()
+	w.ctxPut(ctx)
 	t.done.Store(true)
-	atomic.AddInt64(&w.stats.UsefulNS, nowNS()-t0)
+	elapsed := nowNS() - t0
+	if self := elapsed - w.excluded; self > 0 {
+		atomic.AddInt64(&w.stats.UsefulNS, self)
+	}
 	atomic.AddInt64(&w.stats.Tasks, 1)
 	w.emit(obs.KindTaskDone, obs.NoWorker, 0)
+	// The whole window — own time included — is excluded from the
+	// enclosing frame, which already counted nothing of it.
+	w.excluded = prevExcl + elapsed
 	w.depth--
 	if w.depth == 0 {
 		w.busy.Store(false)
+		w.excluded = 0
 	}
 	if t.onDone != nil {
 		t.onDone()
