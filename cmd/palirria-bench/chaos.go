@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"palirria/internal/chaos"
+)
+
+// chaosFailure is the replay artifact written when a scenario violates an
+// invariant: the scenario, the seed, the fully expanded script and the
+// violations. Re-running `palirria-bench -chaos -chaos-scenario NAME
+// -chaos-seed SEED` replays the identical adversarial plan.
+type chaosFailure struct {
+	Scenario   string          `json:"scenario"`
+	Seed       uint64          `json:"seed"`
+	Violations []string        `json:"violations"`
+	Script     json.RawMessage `json:"script"`
+	Result     *chaos.Result   `json:"result"`
+}
+
+// chaosRun executes the chaos suite: every scenario (or just `only`)
+// under `nseeds` seeds starting at `seed0`, each bounded by `timeout`.
+// Seeds are printed up front so any failure is reproducible from the log
+// alone; on a violation the failure artifact is also written to failPath
+// and the run exits non-zero after finishing the remaining scenarios.
+func chaosRun(only string, seed0 uint64, nseeds int, timeout time.Duration, failPath string) error {
+	suite := chaos.Scenarios()
+	if only != "" {
+		s, ok := chaos.Lookup(only)
+		if !ok {
+			var names []string
+			for _, sc := range suite {
+				names = append(names, sc.Name)
+			}
+			return fmt.Errorf("unknown chaos scenario %q (have: %s)", only, strings.Join(names, ", "))
+		}
+		suite = []chaos.Scenario{s}
+	}
+	if nseeds < 1 {
+		nseeds = 1
+	}
+	fmt.Printf("chaos: %d scenario(s) x %d seed(s) [%d..%d], bound %s\n",
+		len(suite), nseeds, seed0, seed0+uint64(nseeds)-1, timeout)
+	var failures []chaosFailure
+	for _, s := range suite {
+		for i := 0; i < nseeds; i++ {
+			seed := seed0 + uint64(i)
+			sc := s.Plan(seed)
+			res := chaos.Run(sc, timeout)
+			status := "ok"
+			if !res.Ok() {
+				status = fmt.Sprintf("FAIL (%d violations)", len(res.Violations))
+				failures = append(failures, chaosFailure{
+					Scenario:   s.Name,
+					Seed:       seed,
+					Violations: res.Violations,
+					Script:     sc.Marshal(),
+					Result:     res,
+				})
+			}
+			fmt.Printf("  %-22s seed=%-6d %8s  accepted=%-5d rejected=%-5d completed=%-5d discarded=%-4d leaves=%-6d %s\n",
+				s.Name, seed, time.Duration(res.DurationNS).Round(time.Millisecond),
+				res.Accepted, res.Rejected, res.Completed, res.Discarded, res.LeafRuns, status)
+			for _, v := range res.Violations {
+				fmt.Printf("    violation: %s\n", v)
+			}
+		}
+	}
+	if len(failures) == 0 {
+		fmt.Println("chaos: all invariants held")
+		return nil
+	}
+	if failPath != "" {
+		b, err := json.MarshalIndent(failures, "", "  ")
+		if err == nil {
+			err = os.WriteFile(failPath, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: could not write failure artifact: %v\n", err)
+		} else {
+			fmt.Printf("chaos: wrote replay artifact to %s\n", failPath)
+		}
+	}
+	return fmt.Errorf("%d scenario run(s) violated invariants", len(failures))
+}

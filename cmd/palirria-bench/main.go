@@ -14,6 +14,7 @@
 //	palirria-bench -all              # everything
 //	palirria-bench -trace-out /tmp/fib.json -trace-workload fib
 //	palirria-bench -wsrt -bench-out BENCH_wsrt.json   # real-runtime idle-path benchmarks
+//	palirria-bench -chaos -chaos-seeds 4              # seeded reconfiguration chaos suite
 package main
 
 import (
@@ -38,8 +39,21 @@ func main() {
 	traceWL := flag.String("trace-workload", "fib", "workload for -trace-out")
 	wsrtB := flag.Bool("wsrt", false, "measure the real runtime's idle-path benchmarks (submit latency, steal throughput, idle burn) and exit")
 	benchOut := flag.String("bench-out", "BENCH_wsrt.json", "output path for the -wsrt JSON report")
+	chaosB := flag.Bool("chaos", false, "run the seeded reconfiguration chaos suite and exit (non-zero on any invariant violation)")
+	chaosScenario := flag.String("chaos-scenario", "", "restrict -chaos to one scenario by name")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "first seed for -chaos; a failing (scenario, seed) pair replays byte-identically")
+	chaosSeeds := flag.Int("chaos-seeds", 2, "seeds per scenario for -chaos")
+	chaosBound := flag.Duration("chaos-bound", 90*time.Second, "per-scenario deadlock bound for -chaos")
+	chaosOut := flag.String("chaos-out", "CHAOS_FAIL.json", "replay artifact path written by -chaos on violation")
 	flag.Parse()
 
+	if *chaosB {
+		if err := chaosRun(*chaosScenario, *chaosSeed, *chaosSeeds, *chaosBound, *chaosOut); err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *wsrtB {
 		if err := wsrtBench(*benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, "palirria-bench:", err)

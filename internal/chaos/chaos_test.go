@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScriptPlanningIsDeterministic is the replay guarantee: the same
+// (scenario, seed) pair must expand to byte-identical script JSON, so a
+// printed seed is a complete reproduction of the adversarial pressure.
+func TestScriptPlanningIsDeterministic(t *testing.T) {
+	for _, s := range Scenarios() {
+		for _, seed := range []uint64{1, 0xdeadbeef, 0x9e3779b97f4a7c15} {
+			a := s.Plan(seed).Marshal()
+			b := s.Plan(seed).Marshal()
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s seed %#x: planning is not deterministic", s.Name, seed)
+			}
+		}
+	}
+}
+
+// TestScenarioSuiteIsLargeEnough pins the acceptance floor: the suite must
+// cover grow, shrink, revoke-mid-drain and submit/drain/shutdown races.
+func TestScenarioSuiteIsLargeEnough(t *testing.T) {
+	if n := len(Scenarios()); n < 8 {
+		t.Fatalf("suite has %d scenarios, want at least 8", n)
+	}
+	for _, name := range []string{"submit-shutdown", "shrink-with-work", "revoke-storm", "grow-burst"} {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("required scenario %q missing", name)
+		}
+	}
+}
+
+// TestScenariosUpholdInvariants runs every scenario under fixed seeds and
+// requires a clean conservation ledger. On a violation it prints the full
+// replay script — (scenario, seed) is the repro.
+func TestScenariosUpholdInvariants(t *testing.T) {
+	seeds := []uint64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, seed := range seeds {
+				sc := s.Plan(seed)
+				res := Run(sc, 90*time.Second)
+				if !res.Ok() {
+					t.Errorf("seed %d: %d violation(s):\n  %s\nreplay script:\n%s",
+						seed, len(res.Violations), strings.Join(res.Violations, "\n  "), sc.Marshal())
+				}
+			}
+		})
+	}
+}

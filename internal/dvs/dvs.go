@@ -85,50 +85,92 @@ func New(c *topo.Classification) *DVS {
 // own; when contention splits an allotment into distant clusters, each
 // stranded cluster gets one additional lowest-priority victim — the
 // nearest already-connected member — bridging it into the flow.
+//
+// Degenerate allotments whose flow roots reach no member at all (a source
+// outside the member set, or a future constructor that strands it) used
+// to be given up on silently, leaving every worker permanently isolated;
+// now the lowest-id member is promoted to a flow root and bridging
+// continues from it, so the steal graph always ends up connected.
 func (d *DVS) ensureFlowConnected(a *topo.Allotment) {
-	m := a.Mesh()
+	roots := []topo.CoreID{a.Source()}
 	for {
-		reached := d.reachable(a)
-		if len(reached) == a.Size() {
-			return
-		}
-		// Find the (unreached worker, reached member) pair with minimal
-		// hop distance; ties break on lower ids for determinism.
-		bestW, bestR := topo.NoCore, topo.NoCore
-		bestDist := 1 << 30
+		reached := d.reachable(a, roots)
+		members := 0
 		for _, w := range a.Members() {
 			if reached[w] {
-				continue
-			}
-			for _, r := range a.Members() {
-				if !reached[r] {
-					continue
-				}
-				dist := m.HopCount(w, r)
-				if dist < bestDist ||
-					(dist == bestDist && (w < bestW || (w == bestW && r < bestR))) {
-					bestW, bestR, bestDist = w, r, dist
-				}
+				members++
 			}
 		}
-		if bestW == topo.NoCore {
-			return // no reached members at all (degenerate); give up
+		if members == a.Size() {
+			return
 		}
-		d.victims[bestW] = append(d.victims[bestW], bestR)
+		if members == 0 {
+			// No member is reachable from any flow root: anchor the flow
+			// at the lowest-id member instead of stranding everyone.
+			low := topo.NoCore
+			for _, w := range a.Members() {
+				if low == topo.NoCore || w < low {
+					low = w
+				}
+			}
+			if low == topo.NoCore {
+				return // empty allotment
+			}
+			roots = append(roots, low)
+			continue
+		}
+		d.bridgeOne(a, reached)
 	}
 }
 
-// reachable returns the members reachable from the source in the steal
-// graph.
-func (d *DVS) reachable(a *topo.Allotment) map[topo.CoreID]bool {
+// bridgeOne adds one bridging edge: the (unreached worker, reached
+// member) pair with minimal hop distance (ties break on lower ids for
+// determinism) gets a victim edge from the worker to the member,
+// connecting the worker — and everything downstream of it — into the
+// flow. The caller guarantees at least one reached and one unreached
+// member exist.
+func (d *DVS) bridgeOne(a *topo.Allotment, reached map[topo.CoreID]bool) {
+	m := a.Mesh()
+	bestW, bestR := topo.NoCore, topo.NoCore
+	bestDist := 1 << 30
+	for _, w := range a.Members() {
+		if reached[w] {
+			continue
+		}
+		for _, r := range a.Members() {
+			if !reached[r] {
+				continue
+			}
+			dist := m.HopCount(w, r)
+			if dist < bestDist ||
+				(dist == bestDist && (w < bestW || (w == bestW && r < bestR))) {
+				bestW, bestR, bestDist = w, r, dist
+			}
+		}
+	}
+	if bestW == topo.NoCore {
+		return
+	}
+	d.victims[bestW] = append(d.victims[bestW], bestR)
+}
+
+// reachable returns the members reachable from the flow roots in the
+// steal graph.
+func (d *DVS) reachable(a *topo.Allotment, roots []topo.CoreID) map[topo.CoreID]bool {
 	thieves := make(map[topo.CoreID][]topo.CoreID, a.Size())
 	for _, w := range a.Members() {
 		for _, v := range d.victims[w] {
 			thieves[v] = append(thieves[v], w)
 		}
 	}
-	reached := map[topo.CoreID]bool{a.Source(): true}
-	queue := []topo.CoreID{a.Source()}
+	reached := make(map[topo.CoreID]bool, a.Size())
+	queue := make([]topo.CoreID, 0, a.Size())
+	for _, r := range roots {
+		if !reached[r] {
+			reached[r] = true
+			queue = append(queue, r)
+		}
+	}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]

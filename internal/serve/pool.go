@@ -87,8 +87,11 @@ type Pool struct {
 
 	closeOnce sync.Once
 	drainedCh chan struct{}
-	finalMu   sync.Mutex
-	final     *wsrt.Report
+	// idleCh is signalled (buffered, coalescing) whenever inflight drops
+	// to zero, so Drain waits event-driven instead of polling.
+	idleCh  chan struct{}
+	finalMu sync.Mutex
+	final   *wsrt.Report
 }
 
 // New builds the pool and starts its runtime in persistent mode. The pool
@@ -119,6 +122,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg:       cfg,
 		slots:     make(chan struct{}, cfg.QueueCap),
 		drainedCh: make(chan struct{}),
+		idleCh:    make(chan struct{}, 1),
 	}
 	chained := cfg.Runtime.OnQuantum
 	cfg.Runtime.OnQuantum = func(q wsrt.QuantumInfo) {
@@ -225,13 +229,17 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 			p.cancelled.Add(1)
 		}
 		<-p.slots
-		p.inflight.Add(-1)
+		if p.inflight.Add(-1) == 0 {
+			p.noteIdle()
+		}
 		close(j.done)
 	}
 	p.inflight.Add(1)
 	p.admitted.Add(1)
 	if err := p.rt.Submit(wrapped, onDone); err != nil {
-		p.inflight.Add(-1)
+		if p.inflight.Add(-1) == 0 {
+			p.noteIdle()
+		}
 		p.admitted.Add(-1)
 		<-p.slots
 		if errors.Is(err, wsrt.ErrClosed) {
@@ -257,20 +265,34 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 	}
 }
 
+// noteIdle signals Drain that inflight reached zero. The channel is
+// buffered and sends coalesce, so completions never block on it.
+func (p *Pool) noteIdle() {
+	select {
+	case p.idleCh <- struct{}{}:
+	default:
+	}
+}
+
 // Drain gracefully shuts the pool down: admission stops immediately,
 // every in-flight job (queued jobs included) is waited for, then the
 // runtime is shut down and its workers released. Safe to call from
 // several goroutines; all of them return once the drain completes. If ctx
 // expires first, Drain returns ctx.Err() with the pool left draining —
 // call Drain again to keep waiting.
+//
+// The wait is event-driven: each completion that empties the pool signals
+// idleCh, and a coarse safety tick re-checks the counter so a signal
+// consumed by a concurrent Drain caller never strands another.
 func (p *Pool) Drain(ctx context.Context) error {
 	p.state.CompareAndSwap(poolAccepting, poolDraining)
-	tick := time.NewTicker(2 * time.Millisecond)
+	tick := time.NewTicker(50 * time.Millisecond)
 	defer tick.Stop()
 	for p.inflight.Load() > 0 {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
+		case <-p.idleCh:
 		case <-tick.C:
 		}
 	}

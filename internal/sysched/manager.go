@@ -25,7 +25,10 @@ type Manager struct {
 	source      topo.CoreID
 	minDiaspora int
 	maxDiaspora int
-	current     *topo.Allotment
+	// current is atomic so Current is safe from any goroutine: Grant runs
+	// on the runtime's estimation helper while chaos/serving layers read
+	// the grant concurrently.
+	current atomic.Pointer[topo.Allotment]
 
 	// zoneSizes[d-1] is the size of the complete allotment of diaspora d.
 	zoneSizes []int
@@ -77,7 +80,7 @@ func NewManager(mesh *topo.Mesh, source topo.CoreID, opts ...Option) (*Manager, 
 	if err != nil {
 		return nil, err
 	}
-	m.current = a
+	m.current.Store(a)
 	for d := 1; d <= m.maxDiaspora; d++ {
 		za, err := topo.NewAllotment(mesh, source, d)
 		if err != nil {
@@ -92,8 +95,9 @@ func NewManager(mesh *topo.Mesh, source topo.CoreID, opts ...Option) (*Manager, 
 	return m, nil
 }
 
-// Current returns the granted allotment.
-func (m *Manager) Current() *topo.Allotment { return m.current }
+// Current returns the granted allotment. Safe from any goroutine; the
+// returned allotment is immutable.
+func (m *Manager) Current() *topo.Allotment { return m.current.Load() }
 
 // SetWorkerCap imposes (or, with n <= 0, lifts) a dynamic worker-count
 // ceiling on future grants. Grants stay zone-granular: the effective limit
@@ -165,14 +169,15 @@ func (m *Manager) Grant(desired int) (*topo.Allotment, bool) {
 	for cap > 0 && targetD > 1 && m.sizeAt(targetD) > cap {
 		targetD--
 	}
-	if targetD == m.current.Diaspora() {
-		return m.current, false
+	cur := m.current.Load()
+	if targetD == cur.Diaspora() {
+		return cur, false
 	}
 	a, err := topo.NewAllotment(m.mesh, m.source, targetD)
 	if err != nil {
-		return m.current, false
+		return cur, false
 	}
-	m.current = a
+	m.current.Store(a)
 	return a, true
 }
 

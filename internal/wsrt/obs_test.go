@@ -171,3 +171,43 @@ func TestWorkerTimeAccountingInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkerTimeAccountingInvariantPersistent pins the same partition for
+// persistent mode against the report's own wall clock. Shutdown used to
+// capture WallNS before tearing the workers down, so idle time accrued
+// during the quiesce could push a worker's sum past the reported wall;
+// the wall is now read after teardown and the report must be
+// self-consistent with no outer measurement needed.
+func TestWorkerTimeAccountingInvariantPersistent(t *testing.T) {
+	rt, err := New(Config{
+		Mesh: smallMesh(t), Source: 0,
+		Estimator: core.NewPalirria(),
+		Quantum:   500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		done := make(chan struct{})
+		if err := rt.Submit(fanRoot, func() { close(done) }); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		time.Sleep(time.Millisecond) // let workers park between jobs
+	}
+	rep, err := rt.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slack = int64(time.Millisecond)
+	for id, wr := range rep.Workers {
+		sum := wr.UsefulNS + wr.SearchNS + wr.IdleNS
+		if sum > rep.WallNS+slack {
+			t.Errorf("worker %d: useful(%d)+search(%d)+idle(%d) = %d exceeds reported wall %d — wall captured before quiesce?",
+				id, wr.UsefulNS, wr.SearchNS, wr.IdleNS, sum, rep.WallNS)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package wsrt
+
+// raceEnabled reports whether the race detector instruments this build.
+// Latency gates scale their bounds under it: instrumentation serializes
+// goroutine scheduling enough to stretch wakeup paths well past their
+// uninstrumented cost.
+const raceEnabled = true

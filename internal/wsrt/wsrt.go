@@ -179,6 +179,16 @@ type Runtime struct {
 	workers map[topo.CoreID]*worker
 	policy  atomic.Value // *policyBundle over the resident set
 
+	// policyMu serializes rebuildPolicy: the helper rebuilds on allotment
+	// changes and retiring workers rebuild to purge themselves from the
+	// wake graph, so unordered stores could publish a bundle built from a
+	// stale resident set over a fresher one.
+	policyMu sync.Mutex
+	// grantedA is the freshest granted allotment. Only the helper stores
+	// it (after Grant, before rebuilding), but retiring workers load it,
+	// so it cannot be read from mgr.Current directly.
+	grantedA atomic.Pointer[topo.Allotment]
+
 	// idle-path state: idleWaiters counts announced waiters (the fast-path
 	// gate of every wake probe), parks and wakeups feed the live metrics.
 	idleWaiters atomic.Int64
@@ -190,9 +200,15 @@ type Runtime struct {
 	finished atomic.Bool
 
 	// persistent-mode state: submitQ carries job roots to idle active
-	// workers; closed flips once at Shutdown.
+	// workers; closed flips once at Shutdown. sealMu composes the closed
+	// check with the queue send: Submit holds the read side across both,
+	// Shutdown takes the write side to flip closed, so by the time
+	// Shutdown's post-quiesce flush runs, every Submit that returned nil
+	// has finished its send and every later Submit observes ErrClosed —
+	// no job can land in submitQ after the flush and be silently lost.
 	persistent bool
 	submitQ    chan *rtTask
+	sealMu     sync.RWMutex
 	closed     atomic.Bool
 	stopHelper chan struct{}
 	helperDone chan struct{}
@@ -298,10 +314,11 @@ func New(cfg Config) (*Runtime, error) {
 		r.helperRing = cfg.Tracer.NewRing(false)
 	}
 	r.allotSize.Store(int64(mgr.Current().Size()))
+	r.grantedA.Store(mgr.Current())
 	if cfg.Metrics != nil {
 		r.registerMetrics(cfg.Metrics)
 	}
-	r.rebuildPolicy(mgr.Current())
+	r.rebuildPolicy()
 	return r, nil
 }
 
@@ -362,8 +379,18 @@ func (r *Runtime) loadPolicy() *policyBundle {
 }
 
 // rebuildPolicy installs victim lists over the resident set (granted plus
-// draining workers).
-func (r *Runtime) rebuildPolicy(granted *topo.Allotment) {
+// draining workers). It is called by the helper after every allotment
+// change and by a draining worker when it retires, so stale wake-graph
+// edges to retired workers are purged as soon as they stop stealing
+// rather than lingering until the next grant. Callers race; the mutex
+// serializes the stores and the granted allotment is loaded inside the
+// critical section, so the last rebuild to run always reflects the
+// freshest grant — a retirement rebuild can never resurrect a policy
+// built from an allotment the helper has already replaced.
+func (r *Runtime) rebuildPolicy() {
+	r.policyMu.Lock()
+	defer r.policyMu.Unlock()
+	granted := r.grantedA.Load()
 	var extra []topo.CoreID
 	for id, w := range r.workers {
 		if w.state.Load() == stateDraining && !granted.Contains(id) {
@@ -442,12 +469,17 @@ func (r *Runtime) Start() error {
 // is full it returns ErrSubmitQueueFull and the caller applies its own
 // backpressure policy.
 //
-// Submit must not be called concurrently with Shutdown — serving layers
-// must stop admission before shutting the runtime down.
+// Submit is safe to call concurrently with Shutdown: the closed check and
+// the queue send are composed under the seal lock, so a Submit either
+// returns ErrClosed or its job is observed by Shutdown's flush — a nil
+// return always means onDone will fire exactly once, either because the
+// job ran or because the shutdown flush discarded it.
 func (r *Runtime) Submit(fn Func, onDone func()) error {
 	if !r.persistent {
 		return ErrNotPersistent
 	}
+	r.sealMu.RLock()
+	defer r.sealMu.RUnlock()
 	if r.closed.Load() {
 		return ErrClosed
 	}
@@ -469,13 +501,25 @@ func (r *Runtime) Shutdown() (*Report, error) {
 	if !r.persistent {
 		return nil, ErrNotPersistent
 	}
-	if !r.closed.CompareAndSwap(false, true) {
+	// Seal the submission queue: after the write section below, every
+	// Submit that will ever return nil has completed its send (the lock
+	// waited for in-flight readers) and every later Submit sees ErrClosed.
+	r.sealMu.Lock()
+	sealed := r.closed.CompareAndSwap(false, true)
+	r.sealMu.Unlock()
+	if !sealed {
 		return nil, ErrClosed
 	}
-	wall := nowNS() - r.startNS
 	r.finished.Store(true)
 	r.teardown()
-	// Flush submissions that no worker will ever pick up.
+	// Wall clock is captured after quiesce: workers keep accruing IdleNS
+	// until their stop token lands, so a wall captured before teardown
+	// could be exceeded by a worker's UsefulNS+SearchNS+IdleNS sum,
+	// breaking the accounting partition the report promises.
+	wall := nowNS() - r.startNS
+	// Flush submissions that no worker will ever pick up. Workers exited
+	// in teardown and the queue is sealed, so this drain observes every
+	// job ever admitted and still unrun.
 	for {
 		select {
 		case t := <-r.submitQ:
@@ -668,6 +712,7 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 		if !changed {
 			continue
 		}
+		r.grantedA.Store(next)
 		// Drain workers leaving the grant; activate workers entering it.
 		for _, id := range granted.Members() {
 			if !next.Contains(id) {
@@ -694,7 +739,7 @@ func (r *Runtime) helperLoop(stop <-chan struct{}) {
 				}
 			}
 		}
-		r.rebuildPolicy(next)
+		r.rebuildPolicy()
 		// Waiters may have parked against the old victim lists; wake them
 		// all so they re-announce against the new ones (see wakeAllIdle).
 		r.wakeAllIdle()
@@ -911,9 +956,16 @@ func (w *worker) loop() {
 			continue
 		}
 		if w.state.Load() == stateDraining {
-			// Removed and drained: park until revoked or stopped.
+			// Removed and drained: the deque is empty (the owner is the
+			// only pusher and its pop just failed, so any last task was
+			// taken by a thief who will run it) — park until revoked or
+			// stopped. Rebuild the policy so the worker's wake-graph and
+			// victim entries are purged now: without it, producers would
+			// keep probing the retiree's empty deque and offering it wake
+			// tokens until the next unrelated allotment change.
 			if w.state.CompareAndSwap(stateDraining, stateParked) {
 				w.emit(obs.KindRetire, obs.NoWorker, 0)
+				w.rt.rebuildPolicy()
 			}
 			continue
 		}
