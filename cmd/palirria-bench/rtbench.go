@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,11 +45,31 @@ type wsrtBenchReport struct {
 		IdleNSPerSec   float64 `json:"idle_ns_per_sec"`
 		Parks          int64   `json:"parks"`
 	} `json:"idle_burn"`
+	// SubmitThroughput is the multi-producer scaling curve for the sharded
+	// injection path: contending producers pumping trivial jobs through
+	// Submit, one tier per producer count. The CI gate compares tiers
+	// against the committed baseline and fails on a >2x throughput drop.
+	SubmitThroughput []submitThroughputTier `json:"submit_throughput"`
+}
+
+// submitThroughputTier is one producer-count point on the scaling curve.
+// Latencies are submit-return to job-body-start, in nanoseconds.
+type submitThroughputTier struct {
+	Producers  int     `json:"producers"`
+	Jobs       int     `json:"jobs"`
+	WallNS     int64   `json:"wall_ns"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
 }
 
 // wsrtBench measures the real runtime's idle-path metrics and writes them
-// as JSON to path (the CI artifact BENCH_wsrt.json).
-func wsrtBench(path string) error {
+// as JSON to path (the CI artifact BENCH_wsrt.json). When baseline names a
+// committed report, the multi-producer throughput tiers are gated against
+// it: a tier running at less than half the baseline's jobs/sec fails the
+// run. The factor-of-two slack absorbs shared-runner noise while still
+// catching a serialized submit path (which collapses by far more).
+func wsrtBench(path, baseline string) error {
 	var rep wsrtBenchReport
 	if err := benchSubmitToStart(&rep); err != nil {
 		return err
@@ -55,6 +78,9 @@ func wsrtBench(path string) error {
 		return err
 	}
 	if err := benchIdleBurn(&rep); err != nil {
+		return err
+	}
+	if err := benchSubmitThroughput(&rep); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -75,6 +101,44 @@ func wsrtBench(path string) error {
 	fmt.Printf("  idle burn: search %.0f ns/sec, parked %.2e ns/sec, %d parks over %s x %d workers\n",
 		rep.IdleBurn.SearchNSPerSec, rep.IdleBurn.IdleNSPerSec, rep.IdleBurn.Parks,
 		time.Duration(rep.IdleBurn.WindowNS), rep.IdleBurn.Workers)
+	for _, tier := range rep.SubmitThroughput {
+		fmt.Printf("  submit throughput: %2d producers -> %.0f jobs/sec (p50=%s p99=%s)\n",
+			tier.Producers, tier.JobsPerSec, time.Duration(tier.P50NS), time.Duration(tier.P99NS))
+	}
+	if baseline != "" {
+		if err := checkBenchBaseline(&rep, baseline); err != nil {
+			return err
+		}
+		fmt.Printf("  baseline gate: within 2x of %s\n", baseline)
+	}
+	return nil
+}
+
+// checkBenchBaseline compares the fresh report's throughput tiers against
+// the committed baseline, matching tiers by producer count.
+func checkBenchBaseline(rep *wsrtBenchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var old wsrtBenchReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	byProducers := make(map[int]submitThroughputTier, len(old.SubmitThroughput))
+	for _, tier := range old.SubmitThroughput {
+		byProducers[tier.Producers] = tier
+	}
+	for _, tier := range rep.SubmitThroughput {
+		ref, ok := byProducers[tier.Producers]
+		if !ok || ref.JobsPerSec <= 0 {
+			continue
+		}
+		if tier.JobsPerSec*2 < ref.JobsPerSec {
+			return fmt.Errorf("bench baseline: %d-producer submit throughput regressed >2x: %.0f jobs/sec vs baseline %.0f",
+				tier.Producers, tier.JobsPerSec, ref.JobsPerSec)
+		}
+	}
 	return nil
 }
 
@@ -137,6 +201,82 @@ func benchStealThroughput(rep *wsrtBenchReport) error {
 		rep.StealThroughput.StealsPerSec = float64(steals) / (float64(r.WallNS) / 1e9)
 	}
 	return nil
+}
+
+// benchSubmitThroughput sweeps producer counts over the sharded injection
+// path. Every producer hammers Submit with trivial jobs (retrying on a
+// full backlog), so the tiers expose any serialization in shard selection
+// or wakeup — with the legacy single channel the curve flatlines as
+// producers contend on one funnel.
+func benchSubmitThroughput(rep *wsrtBenchReport) error {
+	for _, producers := range []int{1, 4, 16, 64} {
+		tier, err := benchSubmitTier(producers, 2000)
+		if err != nil {
+			return err
+		}
+		rep.SubmitThroughput = append(rep.SubmitThroughput, tier)
+	}
+	return nil
+}
+
+func benchSubmitTier(producers, jobs int) (submitThroughputTier, error) {
+	tier := submitThroughputTier{Producers: producers, Jobs: jobs}
+	rt, err := wsrt.New(wsrt.Config{
+		Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10,
+		SubmitQueueCap: 512,
+	})
+	if err != nil {
+		return tier, err
+	}
+	if err := rt.Start(); err != nil {
+		return tier, err
+	}
+	lat := make([]int64, jobs)
+	var done sync.WaitGroup
+	var submitErr atomic.Value
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for j := p; j < jobs; j += producers {
+				j := j
+				s0 := time.Now().UnixNano()
+				body := func(*wsrt.Ctx) { lat[j] = time.Now().UnixNano() - s0 }
+				done.Add(1)
+				for {
+					err := rt.Submit(body, func() { done.Done() })
+					if err == nil {
+						break
+					}
+					if errors.Is(err, wsrt.ErrSubmitQueueFull) {
+						runtime.Gosched()
+						continue
+					}
+					submitErr.Store(err)
+					done.Done()
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	done.Wait()
+	tier.WallNS = time.Since(t0).Nanoseconds()
+	if _, err := rt.Shutdown(); err != nil {
+		return tier, err
+	}
+	if err, ok := submitErr.Load().(error); ok {
+		return tier, err
+	}
+	if tier.WallNS > 0 {
+		tier.JobsPerSec = float64(jobs) / (float64(tier.WallNS) / 1e9)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	tier.P50NS = lat[jobs/2]
+	tier.P99NS = lat[jobs*99/100]
+	return tier, nil
 }
 
 func benchIdleBurn(rep *wsrtBenchReport) error {

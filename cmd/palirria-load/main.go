@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,15 +38,20 @@ func main() {
 	waves := flag.String("waves", "calm:50:1s,burst:300:1s,calm:50:1s", "arrival pattern: name:rps:duration,...")
 	fanout := flag.Int("fanout", 64, "leaves per job")
 	work := flag.Int("work", 20000, "synthetic cycles per leaf")
+	batch := flag.Int("batch", 1, "jobs per request via /submit?count= batch admission; each tick still fires one request")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	flag.Parse()
 
+	if *batch < 1 {
+		fmt.Fprintln(os.Stderr, "palirria-load: -batch must be >= 1")
+		os.Exit(2)
+	}
 	ws, err := parseWaves(*waves)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "palirria-load:", err)
 		os.Exit(2)
 	}
-	res := run(*target, *tenant, ws, *fanout, *work, *timeout, os.Stdout)
+	res := run(*target, *tenant, ws, *fanout, *work, *batch, *timeout, os.Stdout)
 	res.print(os.Stdout)
 	if res.ok == 0 || res.failed > 0 {
 		os.Exit(1)
@@ -90,10 +96,12 @@ func parseWaves(s string) ([]wave, error) {
 // result accumulates the run's outcome counts and latencies.
 type result struct {
 	mu        sync.Mutex
-	ok        int64 // 200: job completed
+	ok        int64 // 200: job (or batch) completed
 	shed      int64 // 429: queue full or load shed
 	unavail   int64 // 503: draining
 	failed    int64 // transport errors and unexpected statuses
+	jobsDone  int64 // per-job completions inside 200 batch replies
+	jobsRej   int64 // per-job rejections inside 200 batch replies
 	latencies []time.Duration
 }
 
@@ -115,12 +123,22 @@ func (r *result) record(status int, lat time.Duration, err error) {
 	}
 }
 
+func (r *result) recordBatch(completed, rejected int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobsDone += completed
+	r.jobsRej += rejected
+}
+
 func (r *result) print(w io.Writer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	total := r.ok + r.shed + r.unavail + r.failed
 	fmt.Fprintf(w, "\n%d requests: %d completed, %d shed (429), %d unavailable (503), %d failed\n",
 		total, r.ok, r.shed, r.unavail, r.failed)
+	if r.jobsDone+r.jobsRej > 0 {
+		fmt.Fprintf(w, "batched jobs: %d completed, %d rejected\n", r.jobsDone, r.jobsRej)
+	}
 	if len(r.latencies) == 0 {
 		return
 	}
@@ -136,10 +154,13 @@ func (r *result) print(w io.Writer) {
 
 // run fires the wave sequence at target and waits for every outstanding
 // request before returning.
-func run(target, tenant string, waves []wave, fanout, work int, timeout time.Duration, log io.Writer) *result {
+func run(target, tenant string, waves []wave, fanout, work, batch int, timeout time.Duration, log io.Writer) *result {
 	submitURL := fmt.Sprintf("%s/submit?fanout=%d&work=%d", strings.TrimRight(target, "/"), fanout, work)
 	if tenant != "" {
 		submitURL += "&tenant=" + url.QueryEscape(tenant)
+	}
+	if batch > 1 {
+		submitURL += fmt.Sprintf("&count=%d", batch)
 	}
 	client := &http.Client{Timeout: timeout}
 	res := &result{}
@@ -159,6 +180,15 @@ func run(target, tenant string, waves []wave, fanout, work int, timeout time.Dur
 				if err != nil {
 					res.record(0, 0, err)
 					return
+				}
+				if batch > 1 && resp.StatusCode == http.StatusOK {
+					var rep struct {
+						Completed int64 `json:"completed"`
+						Rejected  int64 `json:"rejected"`
+					}
+					if json.NewDecoder(resp.Body).Decode(&rep) == nil {
+						res.recordBatch(rep.Completed, rep.Rejected)
+					}
 				}
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck
 				resp.Body.Close()

@@ -47,7 +47,7 @@ func TestRunAgainstStub(t *testing.T) {
 	defer ts.Close()
 
 	ws := []wave{{name: "t", rps: 200, dur: 100 * time.Millisecond}}
-	res := run(ts.URL, "web", ws, 8, 100, 2*time.Second, io.Discard)
+	res := run(ts.URL, "web", ws, 8, 100, 1, 2*time.Second, io.Discard)
 	total := res.ok + res.shed + res.unavail + res.failed
 	if total == 0 {
 		t.Fatal("no requests fired")
@@ -60,6 +60,29 @@ func TestRunAgainstStub(t *testing.T) {
 	}
 	if len(res.latencies) != int(res.ok) {
 		t.Fatalf("latencies %d != ok %d", len(res.latencies), res.ok)
+	}
+	res.print(io.Discard)
+}
+
+func TestRunBatchAgainstStub(t *testing.T) {
+	// In batch mode every request carries count jobs and the client folds
+	// the per-job completed/rejected counts out of the 200 reply.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("count"); got != "4" {
+			http.Error(w, "missing count", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(`{"tenant":"default","count":4,"completed":3,"rejected":1,"latency_ns":1}`))
+	}))
+	defer ts.Close()
+
+	ws := []wave{{name: "t", rps: 100, dur: 50 * time.Millisecond}}
+	res := run(ts.URL, "", ws, 8, 100, 4, 2*time.Second, io.Discard)
+	if res.ok == 0 || res.failed != 0 {
+		t.Fatalf("ok=%d failed=%d", res.ok, res.failed)
+	}
+	if res.jobsDone != 3*res.ok || res.jobsRej != res.ok {
+		t.Fatalf("batch folding: jobsDone=%d jobsRej=%d over %d replies", res.jobsDone, res.jobsRej, res.ok)
 	}
 	res.print(io.Discard)
 }

@@ -14,10 +14,14 @@
 //	GET  /metrics                             Prometheus text format
 //	GET  /status                              pool stats + tenancy snapshot
 //	POST /submit?tenant=&fanout=&work=        run one job, reply when done
+//	POST /submit?count=N&...                  run N jobs via batch admission
 //	POST /drain                               drain all pools, then exit 0
 //
 // Submit replies 200 on completion, 429 while the pool sheds load or its
 // admission queue is full, 503 once draining, and 400 on bad parameters.
+// With count > 1 the jobs go through Pool.SubmitBatch; the reply reports
+// how many completed and how many were rejected, and the error statuses
+// above apply only when nothing completed.
 //
 // Usage:
 //
@@ -180,11 +184,15 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// submitReply is the /submit response body.
+// submitReply is the /submit response body. The batch fields are only set
+// when the request carried count > 1.
 type submitReply struct {
 	Tenant    string `json:"tenant"`
 	Fanout    int    `json:"fanout"`
 	Work      int    `json:"work"`
+	Count     int    `json:"count,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Rejected  int    `json:"rejected,omitempty"`
 	LatencyNS int64  `json:"latency_ns"`
 }
 
@@ -213,7 +221,44 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad work", http.StatusBadRequest)
 		return
 	}
+	count, err := intParam(q.Get("count"), 1)
+	if err != nil || count < 1 || count > 1<<14 {
+		http.Error(w, "bad count", http.StatusBadRequest)
+		return
+	}
 	start := time.Now()
+	if count > 1 {
+		fns := make([]wsrt.Func, count)
+		for i := range fns {
+			fns[i] = fanJob(fanout, work)
+		}
+		var completed int
+		var firstErr error
+		for _, err := range p.SubmitBatch(r.Context(), fns) {
+			if err == nil {
+				completed++
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if completed == 0 {
+			switch {
+			case errors.Is(firstErr, serve.ErrQueueFull), errors.Is(firstErr, serve.ErrOverloaded):
+				http.Error(w, firstErr.Error(), http.StatusTooManyRequests)
+			case errors.Is(firstErr, serve.ErrDraining), errors.Is(firstErr, serve.ErrDiscarded):
+				http.Error(w, firstErr.Error(), http.StatusServiceUnavailable)
+			default: // context cancellation: the client went away
+				http.Error(w, firstErr.Error(), http.StatusRequestTimeout)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, submitReply{
+			Tenant: tenant, Fanout: fanout, Work: work,
+			Count: count, Completed: completed, Rejected: count - completed,
+			LatencyNS: time.Since(start).Nanoseconds(),
+		})
+		return
+	}
 	switch err := p.Submit(r.Context(), fanJob(fanout, work)); {
 	case err == nil:
 		writeJSON(w, http.StatusOK, submitReply{

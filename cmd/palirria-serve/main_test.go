@@ -94,6 +94,8 @@ func TestServerSingleTenant(t *testing.T) {
 		{http.MethodPost, "/submit?fanout=-1", http.StatusBadRequest},
 		{http.MethodPost, "/submit?work=abc", http.StatusBadRequest},
 		{http.MethodPost, "/submit?tenant=nope", http.StatusNotFound},
+		{http.MethodPost, "/submit?count=0", http.StatusBadRequest},
+		{http.MethodPost, "/submit?count=abc", http.StatusBadRequest},
 		{http.MethodGet, "/drain", http.StatusMethodNotAllowed},
 	} {
 		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
@@ -154,6 +156,59 @@ func TestServerSingleTenant(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit after drain = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServerBatchSubmit(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/submit?fanout=4&work=500&count=6", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch submit = %d", resp.StatusCode)
+	}
+	if rep.Count != 6 || rep.Completed != 6 || rep.Rejected != 0 {
+		t.Fatalf("batch reply = %+v, want count=6 completed=6", rep)
+	}
+
+	var st statusReply
+	resp, err = http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Pools[0].Admitted != 6 || st.Pools[0].Completed != 6 {
+		t.Fatalf("pool stats after batch = %+v", st.Pools[0])
+	}
+
+	resp, err = http.Post(ts.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/submit?count=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch submit after drain = %d, want 503", resp.StatusCode)
 	}
 }
 

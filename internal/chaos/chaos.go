@@ -79,6 +79,10 @@ type Script struct {
 
 	Submitters int       `json:"submitters"`
 	Jobs       []JobSpec `json:"jobs"`
+	// BatchSize > 1 makes runtime-layer submitters use SubmitBatch in
+	// chunks of this size (with prefix-acceptance handling); otherwise
+	// jobs are submitted one by one.
+	BatchSize int `json:"batch_size,omitempty"`
 	// GiveUpOnFull counts ErrSubmitQueueFull as a rejection instead of
 	// retrying — the queue-full-flush scenario wants rejections on the
 	// books so the accepted/rejected partition is exercised.
@@ -344,6 +348,10 @@ func runRuntime(sc *Script, res *Result) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			if sc.BatchSize > 1 {
+				runtimeSubmitBatches(rt, sc, recs, g, res)
+				return
+			}
 			for j := g; j < len(sc.Jobs); j += sc.Submitters {
 				rec, spec := recs[j], sc.Jobs[j]
 				sleepUS(spec.DelayUS)
@@ -402,6 +410,61 @@ func runRuntime(sc *Script, res *Result) {
 	// quiescent: every accepted job's onDone has fired.
 	checkLedger(recs, res)
 	checkReport(rep, res, "runtime")
+}
+
+// runtimeSubmitBatches drives submitter g's share of the job list through
+// SubmitBatch in chunks of sc.BatchSize, honouring the prefix-acceptance
+// contract: the first n jobs of a failed batch are on the books (their
+// onDone will fire), the remainder is retried or marked rejected exactly
+// like the one-by-one path.
+func runtimeSubmitBatches(rt *wsrt.Runtime, sc *Script, recs []*jobRec, g int, res *Result) {
+	var mine []int
+	for j := g; j < len(sc.Jobs); j += sc.Submitters {
+		mine = append(mine, j)
+	}
+	for start := 0; start < len(mine); {
+		end := start + sc.BatchSize
+		if end > len(mine) {
+			end = len(mine)
+		}
+		chunk := mine[start:end]
+		sleepUS(sc.Jobs[chunk[0]].DelayUS)
+		jobs := make([]wsrt.Job, len(chunk))
+		for k, j := range chunk {
+			rec := recs[j]
+			jobs[k] = wsrt.Job{Fn: jobBody(rec, sc.Jobs[j]), OnDone: func() { rec.done.Add(1) }}
+		}
+		n, err := rt.SubmitBatch(jobs)
+		for _, j := range chunk[:n] {
+			recs[j].outcome.Store(outcomeAccepted)
+		}
+		start += n
+		switch {
+		case err == nil:
+		case errors.Is(err, wsrt.ErrSubmitQueueFull):
+			if sc.GiveUpOnFull {
+				for _, j := range chunk[n:] {
+					recs[j].outcome.Store(outcomeRejected)
+				}
+				start = end
+			} else {
+				runtime.Gosched()
+			}
+		case errors.Is(err, wsrt.ErrClosed):
+			// Shutdown won the race; the unaccepted suffix and all later
+			// jobs stay off the books.
+			for _, j := range chunk[n:] {
+				recs[j].outcome.Store(outcomeRejected)
+			}
+			return
+		default:
+			for _, j := range chunk[n:] {
+				recs[j].outcome.Store(outcomeRejected)
+			}
+			res.fail("batch at job %d: unexpected submit error: %v", chunk[n], err)
+			start = end
+		}
+	}
 }
 
 // poolSubmitJobs drives one pool's share of the job list. Pool submission

@@ -247,6 +247,37 @@ var scenarios = []Scenario{
 		},
 	},
 	{
+		Name: "submit-shard-storm",
+		Description: "a horde of batch submitters sprays jobs across the " +
+			"per-worker injection shards while the cap oscillates and a " +
+			"mid-storm shutdown races the flush; every accepted job's " +
+			"onDone fires exactly once whether it ran, was stolen from a " +
+			"sibling shard, or was drained by the seal",
+		plan: func(sc *Script, rng *xrand.Xoshiro256) {
+			sc.Layer = LayerRuntime
+			sc.MeshW, sc.MeshH = 6, 6
+			sc.Source = 0
+			sc.QuantumUS = int64(200 + rng.Intn(301))
+			sc.SubmitQueueCap = 16 + rng.Intn(113)
+			sc.Submitters = 8 + rng.Intn(9)
+			sc.BatchSize = 2 + rng.Intn(7)
+			sc.GiveUpOnFull = true
+			n := 300 + rng.Intn(301)
+			for i := 0; i < n; i++ {
+				sc.Jobs = append(sc.Jobs, JobSpec{
+					Leaves:    1 + rng.Intn(6),
+					ComputeNS: int64(rng.Intn(2500)),
+				})
+			}
+			at := int64(0)
+			for i := 0; i < 8+rng.Intn(9); i++ {
+				at += int64(200 + rng.Intn(401))
+				sc.CapEvents = append(sc.CapEvents, CapEvent{AtUS: at, Cap: rng.Intn(37)})
+			}
+			sc.ShutdownAtUS = int64(800 + rng.Intn(3201))
+		},
+	},
+	{
 		Name: "tenancy-churn",
 		Description: "two pools under one arbiter with fast re-arbitration; " +
 			"one tenant drains mid-storm, the survivor keeps serving, and " +

@@ -1,0 +1,140 @@
+package deque
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Shard is a bounded lock-free multi-producer queue after Vyukov's bounded
+// MPMC ring, used by the runtime as a per-worker external-injection shard:
+// any number of producers may Push concurrently, and the owning worker (or
+// a thief draining a sibling shard, or the shutdown flush) may Pop
+// concurrently. It is the "thin multi-producer head" bolted next to the
+// Chase-Lev deques — spawned work stays on the owner-only ChaseLev ring,
+// injected work arrives here.
+//
+// Each slot carries a sequence number that encodes which lap of the ring
+// it belongs to: a producer claims the slot whose sequence equals the
+// enqueue ticket, publishes the value, and bumps the sequence to hand the
+// slot to consumers; a consumer does the mirror image and bumps the
+// sequence a full lap ahead to hand the slot back to producers. Producers
+// never spin on a full ring and consumers never spin on an empty one —
+// both report failure immediately, which is what the runtime's bounded
+// submit path and opportunistic drain want.
+type Shard[T any] struct {
+	mask  uint64
+	slots []shardSlot[T]
+	_     [48]byte // keep enq/deq off the slots' cache lines
+	enq   atomic.Uint64
+	_     [56]byte // and off each other's
+	deq   atomic.Uint64
+}
+
+type shardSlot[T any] struct {
+	seq atomic.Uint64
+	val atomic.Pointer[T]
+}
+
+// NewShard returns a shard with the given capacity (rounded up to a power
+// of two, minimum 2).
+func NewShard[T any](capacity int) (*Shard[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("deque: shard capacity %d must be positive", capacity)
+	}
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	s := &Shard[T]{mask: uint64(n - 1), slots: make([]shardSlot[T], n)}
+	for i := range s.slots {
+		s.slots[i].seq.Store(uint64(i))
+	}
+	return s, nil
+}
+
+// MustShard is NewShard that panics on error.
+func MustShard[T any](capacity int) *Shard[T] {
+	s, err := NewShard[T](capacity)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cap returns the shard capacity.
+func (s *Shard[T]) Cap() int { return len(s.slots) }
+
+// Len returns a snapshot of the number of queued elements, counting slots
+// already claimed by a producer whose value may not be published yet. Like
+// ChaseLev.Len it is racy-but-recent — good enough for depth-based shard
+// choice and metrics, never for correctness decisions.
+func (s *Shard[T]) Len() int {
+	e := s.enq.Load()
+	d := s.deq.Load()
+	if e <= d {
+		return 0
+	}
+	if n := e - d; n <= uint64(len(s.slots)) {
+		return int(n)
+	}
+	return len(s.slots)
+}
+
+// Push enqueues v. Safe for any number of concurrent producers (and
+// concurrent Pops). Returns false when the ring is full.
+func (s *Shard[T]) Push(v *T) bool {
+	pos := s.enq.Load()
+	for {
+		slot := &s.slots[pos&s.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot is free on this lap: claim the ticket, then publish.
+			if s.enq.CompareAndSwap(pos, pos+1) {
+				slot.val.Store(v)
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = s.enq.Load()
+		case seq < pos:
+			// The consumer of the previous lap has not recycled the slot:
+			// the ring is full.
+			return false
+		default:
+			// Another producer claimed this ticket; take the next one.
+			pos = s.enq.Load()
+		}
+	}
+}
+
+// Pop dequeues the oldest published element. Safe for any number of
+// concurrent consumers (and concurrent Pushes). Returns (nil, false) when
+// the ring is empty — including the transient case where a producer has
+// claimed the head slot but not yet published into it, so a caller that
+// knows an element is coming (the shutdown flush does) must loop on a
+// positive external count rather than trust a single false.
+func (s *Shard[T]) Pop() (*T, bool) {
+	pos := s.deq.Load()
+	for {
+		slot := &s.slots[pos&s.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			// Published and unclaimed: claim the ticket, then consume.
+			if s.deq.CompareAndSwap(pos, pos+1) {
+				v := slot.val.Load()
+				slot.val.Store(nil)
+				// Recycle the slot for the producer one lap ahead.
+				slot.seq.Store(pos + s.mask + 1)
+				return v, true
+			}
+			pos = s.deq.Load()
+		case seq <= pos:
+			// Empty (or the head producer is mid-publish).
+			return nil, false
+		default:
+			// Another consumer claimed this ticket; take the next one.
+			pos = s.deq.Load()
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardSequentialFIFO(t *testing.T) {
+	s := MustShard[int](8)
+	if s.Cap() != 8 {
+		t.Fatalf("cap %d, want 8", s.Cap())
+	}
+	vals := make([]int, 20)
+	for round := 0; round < 3; round++ { // cross the mask a few times
+		for i := 0; i < 8; i++ {
+			vals[i] = round*8 + i
+			if !s.Push(&vals[i]) {
+				t.Fatalf("push %d refused with len %d", i, s.Len())
+			}
+		}
+		if extra := 99; s.Push(&extra) {
+			t.Fatal("push into a full shard succeeded")
+		}
+		if s.Len() != 8 {
+			t.Fatalf("len %d, want 8", s.Len())
+		}
+		for i := 0; i < 8; i++ {
+			v, ok := s.Pop()
+			if !ok {
+				t.Fatalf("pop %d failed with len %d", i, s.Len())
+			}
+			if *v != round*8+i {
+				t.Fatalf("pop %d, want %d (FIFO violated)", *v, round*8+i)
+			}
+		}
+		if _, ok := s.Pop(); ok {
+			t.Fatal("pop from an empty shard succeeded")
+		}
+	}
+}
+
+func TestShardCapacityRounding(t *testing.T) {
+	if got := MustShard[int](5).Cap(); got != 8 {
+		t.Fatalf("cap(5) rounded to %d, want 8", got)
+	}
+	if got := MustShard[int](1).Cap(); got != 2 {
+		t.Fatalf("cap(1) rounded to %d, want 2", got)
+	}
+	if _, err := NewShard[int](0); err == nil {
+		t.Fatal("NewShard(0) accepted")
+	}
+}
+
+// TestShardMPMCStress hammers a small ring from many producers and many
+// consumers and checks that every pushed element is popped exactly once.
+func TestShardMPMCStress(t *testing.T) {
+	const (
+		producers = 8
+		consumers = 8
+		perProd   = 500
+	)
+	s := MustShard[int](16)
+	total := producers * perProd
+	vals := make([]int, total)
+	seen := make([]atomic.Int32, total)
+	var popped atomic.Int64
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				idx := p*perProd + i
+				vals[idx] = idx
+				for !s.Push(&vals[idx]) {
+					runtime.Gosched() // full: let consumers make room
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for popped.Load() < int64(total) {
+				v, ok := s.Pop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				seen[*v].Add(1)
+				popped.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("element %d popped %d times", i, n)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("shard non-empty after full drain")
+	}
+}
+
+// TestShardLenBounds checks Len never escapes [0, Cap] under concurrent
+// churn — the runtime uses it for power-of-two-choices shard picking and
+// depth gauges, both of which assume a sane range.
+func TestShardLenBounds(t *testing.T) {
+	s := MustShard[int](4)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := 7
+			for !stop.Load() {
+				s.Push(&v)
+				s.Pop()
+				runtime.Gosched()
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		if n := s.Len(); n < 0 || n > s.Cap() {
+			stop.Store(true)
+			t.Fatalf("len %d out of [0,%d]", n, s.Cap())
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

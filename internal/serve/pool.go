@@ -207,6 +207,32 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 		return ErrQueueFull
 	}
 
+	j, wrapped, onDone := p.prepare(fn)
+	p.inflight.Add(1)
+	if err := p.rt.Submit(wrapped, onDone); err != nil {
+		if p.inflight.Add(-1) == 0 {
+			p.noteIdle()
+		}
+		<-p.slots
+		if errors.Is(err, wsrt.ErrClosed) {
+			// Lost the race against a concurrent Drain's shutdown.
+			return ErrDraining
+		}
+		return err
+	}
+	// Counted only now that the runtime holds the job: an admitted job is
+	// one whose onDone is guaranteed to fire, so a concurrent Stats scrape
+	// can never see more admissions than completions+cancellations+flight
+	// (the pre-submit increment with post-failure rollback could).
+	p.admitted.Add(1)
+
+	return p.await(ctx, j)
+}
+
+// prepare builds one job record with its wrapped body and completion
+// callback — the per-job half of admission, shared by Submit and
+// SubmitBatch. The caller owns the slot and inflight bookkeeping.
+func (p *Pool) prepare(fn wsrt.Func) (*job, wsrt.Func, func()) {
 	j := &job{done: make(chan struct{})}
 	submitNS := nowNS()
 	wrapped := func(c *wsrt.Ctx) {
@@ -234,21 +260,12 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 		}
 		close(j.done)
 	}
-	p.inflight.Add(1)
-	p.admitted.Add(1)
-	if err := p.rt.Submit(wrapped, onDone); err != nil {
-		if p.inflight.Add(-1) == 0 {
-			p.noteIdle()
-		}
-		p.admitted.Add(-1)
-		<-p.slots
-		if errors.Is(err, wsrt.ErrClosed) {
-			// Lost the race against a concurrent Drain's shutdown.
-			return ErrDraining
-		}
-		return err
-	}
+	return j, wrapped, onDone
+}
 
+// await blocks until j resolves or ctx expires, translating the job state
+// into Submit's error contract.
+func (p *Pool) await(ctx context.Context, j *job) error {
 	select {
 	case <-j.done:
 		if j.state.Load() == jobDone {
@@ -263,6 +280,80 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 		// still waits for it.
 		return ctx.Err()
 	}
+}
+
+// SubmitBatch admits fns as one batch and waits for the admitted ones,
+// handing them to the runtime through a single wsrt.SubmitBatch call so a
+// wave of arrivals costs one seal-lock acquisition and at most one wakeup
+// per injection shard instead of one each per job. The returned slice is
+// aligned with fns: entry i is nil when job i completed, or carries the
+// same per-job error Submit would have returned (pool-level rejections
+// are applied per entry — a full admission queue rejects the overflow
+// entries and admits the rest). If the whole pool is draining, shedding,
+// or ctx already expired, every entry carries that error.
+func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
+	errs := make([]error, len(fns))
+	fill := func(err error) []error {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	if p.state.Load() != poolAccepting {
+		return fill(ErrDraining)
+	}
+	if err := ctx.Err(); err != nil {
+		return fill(err)
+	}
+	if p.shedding.Load() {
+		p.rejectedShed.Add(int64(len(fns)))
+		return fill(ErrOverloaded)
+	}
+	type admittedJob struct {
+		idx int
+		j   *job
+	}
+	var adm []admittedJob
+	batch := make([]wsrt.Job, 0, len(fns))
+	for i, fn := range fns {
+		select {
+		case p.slots <- struct{}{}:
+		default:
+			p.rejectedFull.Add(1)
+			errs[i] = ErrQueueFull
+			continue
+		}
+		j, wrapped, onDone := p.prepare(fn)
+		p.inflight.Add(1)
+		adm = append(adm, admittedJob{idx: i, j: j})
+		batch = append(batch, wsrt.Job{Fn: wrapped, OnDone: onDone})
+	}
+	if len(batch) == 0 {
+		return errs
+	}
+	n, err := p.rt.SubmitBatch(batch)
+	p.admitted.Add(int64(n))
+	// Jobs past the accepted prefix never reached the runtime: unwind
+	// their admission and report the cause.
+	for k := n; k < len(adm); k++ {
+		if p.inflight.Add(-1) == 0 {
+			p.noteIdle()
+		}
+		<-p.slots
+		cause := err
+		if errors.Is(err, wsrt.ErrClosed) {
+			cause = ErrDraining
+		} else if errors.Is(err, wsrt.ErrSubmitQueueFull) {
+			// Unreachable when the pool owns its runtime (New forces
+			// SubmitQueueCap >= QueueCap), but keep the mapping total.
+			cause = ErrQueueFull
+		}
+		errs[adm[k].idx] = cause
+	}
+	for k := 0; k < n; k++ {
+		errs[adm[k].idx] = p.await(ctx, adm[k].j)
+	}
+	return errs
 }
 
 // noteIdle signals Drain that inflight reached zero. The channel is

@@ -284,3 +284,153 @@ func TestPoolDrainZeroLoss(t *testing.T) {
 		t.Fatalf("accounting: ok %d + rejected %d != 200", ok.Load(), rejected.Load())
 	}
 }
+
+// TestPoolSubmitStatsRaceInvariants hammers Submit from several goroutines
+// against a continuous Stats scraper (run it under -race). The scraper
+// asserts what a non-atomic multi-counter snapshot can honestly promise:
+// no gauge ever goes negative (the Queued clamp), and the cumulative
+// counters never move backwards — the admitted-before-Submit bug rolled
+// `admitted` back on a lost race against Drain, which a scrape observed as
+// a decreasing counter. The quiescent end state asserts the documented
+// invariant exactly: admitted == completed + cancelled, nothing in flight.
+func TestPoolSubmitStatsRaceInvariants(t *testing.T) {
+	p := quietPool(t, Config{Name: "t", QueueCap: 8})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				err := p.Submit(context.Background(), func(c *wsrt.Ctx) { c.Compute(2_000) })
+				if err != nil && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrDraining) {
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var last Stats
+		for !stop.Load() {
+			st := p.Stats()
+			if st.Queued < 0 || st.Running < 0 || st.InFlight < 0 {
+				t.Errorf("negative gauge in scrape: %+v", st)
+				return
+			}
+			if st.Admitted < last.Admitted || st.Completed < last.Completed ||
+				st.Cancelled < last.Cancelled || st.RejectedFull < last.RejectedFull {
+				t.Errorf("counter went backwards: %+v -> %+v", last, st)
+				return
+			}
+			last = st
+		}
+	}()
+	// Let the hammer run, then drain it mid-flight: the shutdown race is
+	// what made the old pre-Submit admitted increment visible (rt.Submit
+	// fails with ErrClosed and the rollback decremented the counter).
+	time.Sleep(30 * time.Millisecond)
+	drain(t, p)
+	stop.Store(true)
+	wg.Wait()
+	<-scraperDone
+	st := p.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("in flight after drain: %d", st.InFlight)
+	}
+	if st.Admitted != st.Completed+st.Cancelled {
+		t.Fatalf("admitted %d != completed %d + cancelled %d",
+			st.Admitted, st.Completed, st.Cancelled)
+	}
+}
+
+func TestPoolSubmitBatchCompletes(t *testing.T) {
+	p := quietPool(t, Config{Name: "t", QueueCap: 64})
+	var sum atomic.Int64
+	fns := make([]wsrt.Func, 12)
+	for i := range fns {
+		fns[i] = func(c *wsrt.Ctx) {
+			c.Spawn(func(cc *wsrt.Ctx) { sum.Add(1) })
+			c.SyncAll()
+			sum.Add(1)
+		}
+	}
+	for i, err := range p.SubmitBatch(context.Background(), fns) {
+		if err != nil {
+			t.Fatalf("batch entry %d: %v", i, err)
+		}
+	}
+	if got := sum.Load(); got != 24 {
+		t.Fatalf("sum = %d, want 24", got)
+	}
+	st := p.Stats()
+	if st.Admitted != 12 || st.Completed != 12 || st.Cancelled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	drain(t, p)
+	for i, err := range p.SubmitBatch(context.Background(), fns) {
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("post-drain batch entry %d = %v, want ErrDraining", i, err)
+		}
+	}
+}
+
+// TestPoolSubmitBatchPartialQueueFull checks per-entry admission: a batch
+// larger than the free admission slots admits a prefix-by-slot-order and
+// rejects the overflow entries with ErrQueueFull, leaving the admitted
+// ones to complete normally.
+func TestPoolSubmitBatchPartialQueueFull(t *testing.T) {
+	p := quietPool(t, Config{Name: "t", QueueCap: 3, Runtime: wsrt.Config{Mesh: topo.MustMesh(2, 1)}})
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	var blocked sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		started.Add(1)
+		blocked.Add(1)
+		go func() {
+			defer blocked.Done()
+			err := p.Submit(context.Background(), func(c *wsrt.Ctx) { started.Done(); <-gate })
+			if err != nil {
+				t.Errorf("blocked submit: %v", err)
+			}
+		}()
+	}
+	started.Wait() // two slots held by running jobs; one slot free
+	fns := make([]wsrt.Func, 4)
+	var ran atomic.Int64
+	for i := range fns {
+		fns[i] = func(c *wsrt.Ctx) { ran.Add(1) }
+	}
+	errsCh := make(chan []error, 1)
+	go func() { errsCh <- p.SubmitBatch(context.Background(), fns) }()
+	// Admission happens synchronously inside SubmitBatch before it waits,
+	// so the rejection counter reaching 3 means the slot accounting is
+	// settled; only then may the gate release the slot-holding jobs.
+	for deadline := time.Now().Add(10 * time.Second); p.Stats().RejectedFull < 3; {
+		if time.Now().After(deadline) {
+			t.Fatal("batch admission never rejected the overflow entries")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	errs := <-errsCh
+	blocked.Wait()
+	if errs[0] != nil {
+		t.Fatalf("entry 0 = %v, want nil (one slot was free)", errs[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !errors.Is(errs[i], ErrQueueFull) {
+			t.Fatalf("entry %d = %v, want ErrQueueFull", i, errs[i])
+		}
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("ran %d batch jobs, want 1", got)
+	}
+	st := p.Stats()
+	if st.RejectedFull != 3 {
+		t.Fatalf("rejected_full = %d, want 3", st.RejectedFull)
+	}
+	drain(t, p)
+}

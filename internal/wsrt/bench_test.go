@@ -51,8 +51,8 @@ func TestStealOnceZeroAllocs(t *testing.T) {
 // BenchmarkSubmitToStart measures the latency from Submit returning to the
 // job body running, with the runtime idle (all workers parked) before each
 // submission — the path the event-driven wakeup protocol exists for. The
-// seed's exponential backoff put a median of ~128µs here; the blocking
-// select on submitQ delivers the job in the channel send itself.
+// seed's exponential backoff put a median of ~128µs here; the sharded
+// submit path wakes the shard owner directly after the push.
 func BenchmarkSubmitToStart(b *testing.B) {
 	rt, err := New(Config{Mesh: smallMesh(b), Source: 0, InitialDiaspora: 10})
 	if err != nil {

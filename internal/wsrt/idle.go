@@ -16,8 +16,10 @@ import (
 //     pushing worker, taken from the reverse of the victim graph);
 //   - a successful steal that leaves more work behind (wake chaining:
 //     the thief wakes the victim's next idle thief before running);
-//   - a persistent-mode Submit (parked active workers block directly on
-//     the submission channel, so the channel send itself is the wakeup);
+//   - a persistent-mode Submit (the producer pushes into one worker's
+//     injection shard and wakes that shard's owner — or, when the owner
+//     is busy, one of the owner's idle thieves, who will find the job
+//     through the same victim order it steals spawned work by);
 //   - an allotment change (the helper unparks entering workers, nudges
 //     leaving ones, and wakes every announced waiter after a policy
 //     rebuild so they re-evaluate against the new victim lists);
@@ -36,7 +38,7 @@ import (
 //
 // Spurious wakeups are benign by construction: every wake path returns
 // to the top of the worker loop, which re-examines state, own queue,
-// victims, and the submission queue before parking again.
+// victims, and the injection shards before parking again.
 
 // idleSpins is the bounded spin budget: failed full victim sweeps a
 // worker performs (yielding between them) before it announces itself
@@ -66,21 +68,51 @@ func (r *Runtime) clearIdle(w *worker) bool {
 }
 
 // wakeOneThief wakes one announced idle worker that has w on its victim
-// list, if any. Producers call it after making work visible in w's
-// deque; the common no-waiters case is a single atomic load.
-func (w *worker) wakeOneThief() {
+// list, if any, reporting whether a token was delivered. Producers call
+// it after making work visible in w's deque or shard; the common
+// no-waiters case is a single atomic load.
+func (w *worker) wakeOneThief() bool {
 	r := w.rt
 	if r.idleWaiters.Load() == 0 {
-		return
+		return false
 	}
 	b := r.loadPolicy()
 	if b == nil {
-		return
+		return false
 	}
 	for _, t := range b.thieves[w.id] {
 		if r.clearIdle(t) {
 			r.wakeups.Add(1)
 			t.unpark()
+			return true
+		}
+	}
+	return false
+}
+
+// wakeForInject delivers the post-push wakeup for a job injected into
+// w's shard: the owner itself first (it drains its own shard before
+// anything else, so this is the locality fast path), then one of the
+// owner's announced thieves, then any announced waiter at all — the
+// catch-all that covers a job landing in the shard of a worker revoked
+// between the producer's policy load and its push, whose thief list may
+// already be gone from the rebuilt wake graph.
+func (r *Runtime) wakeForInject(w *worker) {
+	if r.idleWaiters.Load() == 0 {
+		return
+	}
+	if r.clearIdle(w) {
+		r.wakeups.Add(1)
+		w.unpark()
+		return
+	}
+	if w.wakeOneThief() {
+		return
+	}
+	for _, o := range r.workerList {
+		if r.clearIdle(o) {
+			r.wakeups.Add(1)
+			o.unpark()
 			return
 		}
 	}
@@ -126,17 +158,17 @@ func (w *worker) wakeWorthy() bool {
 			}
 		}
 	}
-	if w.pickup && len(r.submitQ) > 0 {
-		return true
+	if w.pickup && r.queued.Load() > 0 {
+		return true // an injection shard somewhere holds a job
 	}
 	return false
 }
 
 // idleWait is the committed idle path of an active worker: announce,
-// re-check, then block until woken. Persistent-mode workers fold the
-// submission queue into the same blocking select, so a Submit reaches a
-// parked worker through the channel send itself — no polling interval,
-// no backoff cap between submission and start.
+// re-check, then block until woken. A persistent-mode Submit that misses
+// the wakeWorthy re-check necessarily sees the announced flag afterwards
+// and delivers a token through wakeForInject, so there is no polling
+// interval and no backoff cap between submission and start.
 func (w *worker) idleWait() {
 	r := w.rt
 	r.announceIdle(w)
@@ -150,22 +182,6 @@ func (w *worker) idleWait() {
 	w.hwm.Store(0)
 	r.parks.Add(1)
 	t0 := nowNS()
-	if w.pickup {
-		select {
-		case <-w.parkC:
-			r.clearIdle(w)
-			dur := nowNS() - t0
-			w.addIdle(dur)
-			w.emit(obs.KindPark, obs.NoWorker, dur)
-		case t := <-r.submitQ:
-			r.clearIdle(w)
-			dur := nowNS() - t0
-			w.addIdle(dur)
-			w.emit(obs.KindPark, obs.NoWorker, dur)
-			w.runTask(t)
-		}
-		return
-	}
 	<-w.parkC
 	r.clearIdle(w)
 	dur := nowNS() - t0

@@ -265,9 +265,9 @@ func TestSubmitLatencyAfterIdle(t *testing.T) {
 	// Submit-to-start latency with the runtime idle before every
 	// submission. The seed's idle loop slept on an exponential backoff
 	// capped at 256µs, so a job submitted into a quiet runtime waited for
-	// someone's timer to expire — median ≈128µs. With parked workers
-	// blocking directly on the submission queue, the Submit send is the
-	// wakeup, and the median collapses to scheduler-switch cost. The
+	// someone's timer to expire — median ≈128µs. With Submit waking the
+	// target shard's owner right after the push, the median collapses to
+	// scheduler-switch cost. The
 	// 100µs bound is loose enough for CI noise yet impossible for the
 	// old backoff loop to meet.
 	bound := latencyBudget(100 * time.Microsecond)

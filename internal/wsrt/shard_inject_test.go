@@ -1,0 +1,210 @@
+package wsrt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"palirria/internal/topo"
+)
+
+// blockAllWorkers occupies every worker with a job parked on the returned
+// gate, so subsequently submitted jobs stay queued in the injection
+// shards. Callers must close the gate before tearing the runtime down.
+func blockAllWorkers(t *testing.T, rt *Runtime, n int) chan struct{} {
+	t.Helper()
+	gate := make(chan struct{})
+	var running sync.WaitGroup
+	for i := 0; i < n; i++ {
+		running.Add(1)
+		if err := rt.Submit(func(c *Ctx) { running.Done(); <-gate }, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	running.Wait()
+	return gate
+}
+
+// TestShutdownFlushesAllShards is the regression gate for the sharded
+// flush: jobs queued across several injection shards at seal time must
+// all have their onDone fired by Shutdown — a flush that drained only one
+// queue (the legacy global funnel, or just the first shard) loses some.
+func TestShutdownFlushesAllShards(t *testing.T) {
+	rt, err := New(Config{Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10, SubmitQueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	gate := blockAllWorkers(t, rt, len(rt.workers))
+	const queued = 32
+	var flushed atomic.Int64
+	for i := 0; i < queued; i++ {
+		if err := rt.Submit(func(c *Ctx) {}, func() { flushed.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonEmpty := 0
+	for _, w := range rt.workerList {
+		if w.shard.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("round-robin left %d shards non-empty, want >= 2 (test would not prove a multi-shard flush)", nonEmpty)
+	}
+	// Shutdown seals and stops the workers; they are all still inside the
+	// gated jobs, so none can drain a shard before retiring. Release the
+	// gate only after every worker is marked stopped — the queued jobs can
+	// then only resolve through the flush.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		_, err := rt.Shutdown()
+		shutdownErr <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for {
+		stopped := 0
+		for _, w := range rt.workerList {
+			if w.state.Load() == stateStopped {
+				stopped++
+			}
+		}
+		if stopped == len(rt.workerList) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("workers never reached stateStopped")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+	if err := <-shutdownErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := flushed.Load(); got != queued {
+		t.Fatalf("flush fired %d onDone callbacks, want %d", got, queued)
+	}
+	if got := rt.queued.Load(); got != 0 {
+		t.Fatalf("aggregate backlog %d after flush, want 0", got)
+	}
+}
+
+func TestSubmitBatchRunsAllJobs(t *testing.T) {
+	rt, err := New(Config{Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10, SubmitQueueCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const batches, per = 8, 16
+	var ran, done atomic.Int64
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := make([]Job, per)
+			var batchDone sync.WaitGroup
+			for i := range jobs {
+				batchDone.Add(1)
+				jobs[i] = Job{
+					Fn: func(c *Ctx) {
+						c.Spawn(func(cc *Ctx) { ran.Add(1) })
+						c.SyncAll()
+						ran.Add(1)
+					},
+					OnDone: func() { done.Add(1); batchDone.Done() },
+				}
+			}
+			for off := 0; off < per; {
+				n, err := rt.SubmitBatch(jobs[off:])
+				off += n
+				if err != nil {
+					if errors.Is(err, ErrSubmitQueueFull) {
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					t.Errorf("SubmitBatch: %v", err)
+					return
+				}
+			}
+			batchDone.Wait()
+		}()
+	}
+	wg.Wait()
+	if got := done.Load(); got != batches*per {
+		t.Fatalf("onDone fired %d times, want %d", got, batches*per)
+	}
+	if got := ran.Load(); got != batches*per*2 {
+		t.Fatalf("ran %d task bodies, want %d", got, batches*per*2)
+	}
+	if got := rt.injected.Load(); got != batches*per {
+		t.Fatalf("injected counter %d, want %d", got, batches*per)
+	}
+	if _, err := rt.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitBatchPrefixAcceptance checks the documented partial-failure
+// contract: when the aggregate backlog bound fills mid-batch, the first n
+// jobs are on the books (onDone fires for each, here via the shutdown
+// flush) and the rest were never touched.
+func TestSubmitBatchPrefixAcceptance(t *testing.T) {
+	rt, err := New(Config{Mesh: topo.MustMesh(2, 1), Source: 0, SubmitQueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	gate := blockAllWorkers(t, rt, len(rt.workers))
+	var fired atomic.Int64
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{Fn: func(c *Ctx) {}, OnDone: func() { fired.Add(1) }}
+	}
+	n, err := rt.SubmitBatch(jobs)
+	if n != 4 || !errors.Is(err, ErrSubmitQueueFull) {
+		t.Fatalf("SubmitBatch = (%d, %v), want (4, ErrSubmitQueueFull)", n, err)
+	}
+	if err := rt.Submit(func(c *Ctx) {}, nil); !errors.Is(err, ErrSubmitQueueFull) {
+		t.Fatalf("overflow Submit = %v, want ErrSubmitQueueFull", err)
+	}
+	close(gate)
+	if _, err := rt.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fired.Load(); got != int64(n) {
+		t.Fatalf("onDone fired %d times, want %d (accepted prefix only)", got, n)
+	}
+}
+
+func TestSubmitBatchLifecycleErrors(t *testing.T) {
+	rt, err := New(Config{Mesh: topo.MustMesh(2, 1), Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := rt.SubmitBatch([]Job{{Fn: func(c *Ctx) {}}}); n != 0 || !errors.Is(err, ErrNotPersistent) {
+		t.Fatalf("SubmitBatch before Start = (%d, %v), want (0, ErrNotPersistent)", n, err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := rt.SubmitBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty SubmitBatch = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := rt.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := rt.SubmitBatch([]Job{{Fn: func(c *Ctx) {}}}); n != 0 || !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitBatch after Shutdown = (%d, %v), want (0, ErrClosed)", n, err)
+	}
+}

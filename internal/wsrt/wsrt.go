@@ -53,7 +53,8 @@ var (
 	// ErrClosed reports Submit or Shutdown after Shutdown.
 	ErrClosed = errors.New("wsrt: runtime is shut down")
 	// ErrSubmitQueueFull reports a Submit rejected because the runtime's
-	// bounded submission queue is saturated.
+	// bounded submission backlog (SubmitQueueCap, aggregated across the
+	// per-worker injection shards) is saturated.
 	ErrSubmitQueueFull = errors.New("wsrt: submit queue full")
 )
 
@@ -123,8 +124,9 @@ type Config struct {
 	// quantum's grant with that quantum's digest. It runs on the helper
 	// goroutine and must be fast and non-blocking.
 	OnQuantum func(QuantumInfo)
-	// SubmitQueueCap bounds the persistent-mode submission queue (default
-	// 64). Irrelevant for batch Run.
+	// SubmitQueueCap bounds the persistent-mode submission backlog (default
+	// 64): the aggregate number of submitted-but-unstarted job roots across
+	// all per-worker injection shards. Irrelevant for batch Run.
 	SubmitQueueCap int
 }
 
@@ -145,6 +147,9 @@ type WorkerReport struct {
 	IdleNS int64
 	// Tasks, Steals, FailedProbes count events.
 	Tasks, Steals, FailedProbes int64
+	// ShardSteals counts injected job roots this worker pulled from a
+	// sibling's injection shard (its own shard's drains are not steals).
+	ShardSteals int64
 }
 
 // Report is a run's outcome.
@@ -177,7 +182,10 @@ type Runtime struct {
 	ctrl *core.Controller
 
 	workers map[topo.CoreID]*worker
-	policy  atomic.Value // *policyBundle over the resident set
+	// workerList is the same set in core-id order, for lock-free iteration
+	// on paths that want a stable order (shard scans, the shutdown flush).
+	workerList []*worker
+	policy     atomic.Value // *policyBundle over the resident set
 
 	// policyMu serializes rebuildPolicy: the helper rebuilds on allotment
 	// changes and retiring workers rebuild to purge themselves from the
@@ -199,19 +207,35 @@ type Runtime struct {
 	started  atomic.Bool
 	finished atomic.Bool
 
-	// persistent-mode state: submitQ carries job roots to idle active
-	// workers; closed flips once at Shutdown. sealMu composes the closed
-	// check with the queue send: Submit holds the read side across both,
-	// Shutdown takes the write side to flip closed, so by the time
-	// Shutdown's post-quiesce flush runs, every Submit that returned nil
-	// has finished its send and every later Submit observes ErrClosed —
-	// no job can land in submitQ after the flush and be silently lost.
+	// persistent-mode state: job roots enter through per-worker injection
+	// shards (worker.shard) instead of one global funnel; closed flips once
+	// at Shutdown. queued is the aggregate submitted-but-unstarted count —
+	// Submit reserves a slot against SubmitQueueCap before pushing (so the
+	// cap stays an exact bound no matter how jobs spread over shards) and
+	// consumers release the slot when they pop. Every shard's ring is at
+	// least SubmitQueueCap deep, so a push after a successful reservation
+	// cannot fail; the scan fallback in pushAny is belt-and-braces.
+	//
+	// sealMu composes the closed check with the shard push: Submit holds
+	// the read side across both, Shutdown takes the write side to flip
+	// closed, so by the time Shutdown's post-quiesce flush runs, every
+	// Submit that returned nil has finished publishing into its shard and
+	// every later Submit observes ErrClosed — no job can land in a shard
+	// after the flush and be silently lost.
 	persistent bool
-	submitQ    chan *rtTask
+	queued     atomic.Int64
+	injected   atomic.Int64
 	sealMu     sync.RWMutex
 	closed     atomic.Bool
 	stopHelper chan struct{}
 	helperDone chan struct{}
+
+	// cursor hands each producer a cheap round-robin position for shard
+	// choice without a shared contended counter: sync.Pool keeps cursors
+	// per-P, and cursorSeed scatters the starting offsets so simultaneous
+	// producers begin on different shards.
+	cursor     sync.Pool
+	cursorSeed atomic.Uint64
 
 	timeline  trace.Timeline
 	decisions trace.Log
@@ -293,7 +317,12 @@ func New(cfg Config) (*Runtime, error) {
 		mgr:      mgr,
 		workers:  make(map[topo.CoreID]*worker),
 		rootDone: make(chan struct{}),
-		submitQ:  make(chan *rtTask, cfg.SubmitQueueCap),
+	}
+	r.cursor.New = func() any {
+		c := new(uint64)
+		// Weyl-sequence increment: successive cursors land far apart.
+		*c = r.cursorSeed.Add(0x9e3779b97f4a7c15)
+		return c
 	}
 	if cfg.Estimator != nil {
 		r.ctrl = core.NewController(cfg.Estimator)
@@ -309,6 +338,7 @@ func New(cfg Config) (*Runtime, error) {
 			cfg.Tracer.SetWorkerName(int32(id), fmt.Sprintf("core %d", id))
 		}
 		r.workers[id] = w
+		r.workerList = append(r.workerList, w)
 	}
 	if cfg.Tracer != nil {
 		r.helperRing = cfg.Tracer.NewRing(false)
@@ -351,6 +381,12 @@ func (r *Runtime) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(r.parks.Load()) }, base...)
 	reg.CounterFunc("palirria_wakeups_total", "Wake tokens delivered to announced idle workers.",
 		func() float64 { return float64(r.wakeups.Load()) }, base...)
+	reg.CounterFunc("palirria_injected_total", "Job roots accepted by Submit/SubmitBatch.",
+		func() float64 { return float64(r.injected.Load()) }, base...)
+	reg.CounterFunc("palirria_shard_steals_total", "Injected job roots taken from a sibling's shard.",
+		sum(func(w *worker) *int64 { return &w.stats.ShardSteals }), base...)
+	reg.GaugeFunc("palirria_submit_backlog", "Submitted job roots not yet started, across all shards.",
+		func() float64 { return float64(r.queued.Load()) }, base...)
 	for id, w := range r.workers {
 		w := w
 		lbls := append(append([]obs.Label(nil), base...), obs.Label{Key: "core", Value: fmt.Sprint(id)})
@@ -360,17 +396,22 @@ func (r *Runtime) registerMetrics(reg *obs.Registry) {
 			func() float64 { return float64(atomic.LoadInt64(&w.stats.SearchNS)) }, lbls...)
 		reg.GaugeFunc("palirria_worker_idle_ns", "Nanoseconds spent parked waiting for work.",
 			func() float64 { return float64(atomic.LoadInt64(&w.stats.IdleNS)) }, lbls...)
+		reg.GaugeFunc("palirria_shard_depth", "Injected job roots waiting in this worker's shard.",
+			func() float64 { return float64(w.shard.Len()) }, lbls...)
 	}
 }
 
 // policyBundle pairs the victim policy over the resident set with its
 // reverse steal graph: thieves[v] lists the workers that have v on their
 // victim list. Producers use it to wake an idle thief after making work
-// visible in v's deque; both pointers are immutable once the bundle is
-// stored, so readers never take a lock.
+// visible in v's deque. members is the granted set in Members() order —
+// the shard-choice population for Submit, so injected jobs only target
+// workers that are actually serving. All fields are immutable once the
+// bundle is stored, so readers never take a lock.
 type policyBundle struct {
 	policy  dvs.Policy
 	thieves map[topo.CoreID][]*worker
+	members []*worker
 }
 
 func (r *Runtime) loadPolicy() *policyBundle {
@@ -424,7 +465,16 @@ func (r *Runtime) rebuildPolicy() {
 			thieves[v] = append(thieves[v], tw)
 		}
 	}
-	r.policy.Store(&policyBundle{policy: p, thieves: thieves})
+	// Shard-choice population: granted workers only. Draining extras keep
+	// stealing but must not receive fresh injected jobs — they are on
+	// their way out.
+	members := make([]*worker, 0, granted.Size())
+	for _, id := range granted.Members() {
+		if w := r.workers[id]; w != nil {
+			members = append(members, w)
+		}
+	}
+	r.policy.Store(&policyBundle{policy: p, thieves: thieves, members: members})
 }
 
 // Run executes root to completion and returns the report. Run is the
@@ -465,12 +515,19 @@ func (r *Runtime) Start() error {
 // Submit enqueues fn as a new job root; an idle active worker picks it up
 // (the paper's serving scenario: independent requests entering a resident
 // allotment). onDone, if non-nil, fires after the job and all of its
-// spawns complete. Submit never blocks: when the bounded submission queue
-// is full it returns ErrSubmitQueueFull and the caller applies its own
+// spawns complete. Submit never blocks: when the bounded submission
+// backlog (SubmitQueueCap, aggregated across all injection shards) is
+// saturated it returns ErrSubmitQueueFull and the caller applies its own
 // backpressure policy.
 //
+// The job lands in one granted worker's injection shard, chosen by a
+// per-producer round-robin cursor with power-of-two-choices on shard
+// depth, and the wakeup targets that shard's owner — producers on
+// different cores touch different shards instead of contending on one
+// global funnel.
+//
 // Submit is safe to call concurrently with Shutdown: the closed check and
-// the queue send are composed under the seal lock, so a Submit either
+// the shard push are composed under the seal lock, so a Submit either
 // returns ErrClosed or its job is observed by Shutdown's flush — a nil
 // return always means onDone will fire exactly once, either because the
 // job ran or because the shutdown flush discarded it.
@@ -483,17 +540,148 @@ func (r *Runtime) Submit(fn Func, onDone func()) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
-	select {
-	case r.submitQ <- &rtTask{fn: fn, onDone: onDone}:
-		return nil
-	default:
-		return ErrSubmitQueueFull
+	w, err := r.push(&rtTask{fn: fn, onDone: onDone}, r.loadPolicy())
+	if err != nil {
+		return err
 	}
+	r.injected.Add(1)
+	r.wakeForInject(w)
+	return nil
+}
+
+// Job is one SubmitBatch entry: a job root plus its completion callback,
+// with exactly Submit's semantics per entry.
+type Job struct {
+	// Fn is the job root.
+	Fn Func
+	// OnDone, if non-nil, fires exactly once after the job and all of its
+	// spawns complete (or when the shutdown flush discards the job).
+	OnDone func()
+}
+
+// SubmitBatch enqueues several job roots under a single seal-lock
+// acquisition, spreading them over the injection shards and coalescing
+// wakeups to at most one per touched shard — the amortization that makes
+// wave-shaped open-loop load (cmd/palirria-load) cheap. Acceptance is a
+// prefix: the first n jobs were enqueued and carry Submit's exactly-once
+// onDone guarantee; jobs[n:] were not touched. err is nil when every job
+// was accepted, ErrClosed (with n == 0) after Shutdown, or
+// ErrSubmitQueueFull when the aggregate backlog bound filled mid-batch.
+func (r *Runtime) SubmitBatch(jobs []Job) (n int, err error) {
+	if !r.persistent {
+		return 0, ErrNotPersistent
+	}
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+	r.sealMu.RLock()
+	defer r.sealMu.RUnlock()
+	if r.closed.Load() {
+		return 0, ErrClosed
+	}
+	b := r.loadPolicy()
+	var touched []*worker
+	for i := range jobs {
+		w, perr := r.push(&rtTask{fn: jobs[i].Fn, onDone: jobs[i].OnDone}, b)
+		if perr != nil {
+			err = perr
+			break
+		}
+		n++
+		fresh := true
+		for _, tw := range touched {
+			if tw == w {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			touched = append(touched, w)
+		}
+	}
+	if n > 0 {
+		r.injected.Add(int64(n))
+		for _, w := range touched {
+			r.wakeForInject(w)
+		}
+	}
+	return n, err
+}
+
+// push reserves one backlog slot and publishes t into a shard, returning
+// the shard's owner for the wakeup. Callers hold sealMu.RLock with the
+// closed check already done.
+func (r *Runtime) push(t *rtTask, b *policyBundle) (*worker, error) {
+	if !r.reserveSlot() {
+		return nil, ErrSubmitQueueFull
+	}
+	w := r.pickShard(b)
+	if !w.shard.Push(t) {
+		// Cannot happen by construction (every ring is at least
+		// SubmitQueueCap deep and a slot was reserved), but a scan beats a
+		// lost job if the sizing invariant is ever broken.
+		if w = r.pushAny(t); w == nil {
+			r.queued.Add(-1)
+			return nil, ErrSubmitQueueFull
+		}
+	}
+	return w, nil
+}
+
+// reserveSlot claims one unit of the aggregate submission backlog bound.
+func (r *Runtime) reserveSlot() bool {
+	limit := int64(r.cfg.SubmitQueueCap)
+	for {
+		n := r.queued.Load()
+		if n >= limit {
+			return false
+		}
+		if r.queued.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// pickShard chooses the injection shard for one job: advance a cheap
+// per-producer round-robin cursor, then take the shallower of the shard it
+// lands on and its neighbour (power-of-two-choices keeps the spread even
+// when producers are few and bursty).
+func (r *Runtime) pickShard(b *policyBundle) *worker {
+	var ms []*worker
+	if b != nil {
+		ms = b.members
+	}
+	if len(ms) == 0 {
+		ms = r.workerList // pre-first-rebuild or degenerate grant
+	}
+	if len(ms) == 1 {
+		return ms[0]
+	}
+	c := r.cursor.Get().(*uint64)
+	*c++
+	seq := *c
+	r.cursor.Put(c)
+	n := uint64(len(ms))
+	w := ms[seq%n]
+	if alt := ms[(seq+1)%n]; alt.shard.Len() < w.shard.Len() {
+		w = alt
+	}
+	return w
+}
+
+// pushAny publishes t into the first shard with room, in core order.
+func (r *Runtime) pushAny(t *rtTask) *worker {
+	for _, w := range r.workerList {
+		if w.shard.Push(t) {
+			return w
+		}
+	}
+	return nil
 }
 
 // Shutdown stops a persistent runtime: the helper and all workers exit,
 // and the final report (timeline, decisions, per-worker accounting) is
-// returned. Jobs still waiting in the submission queue are discarded
+// returned. Jobs still waiting in the injection shards are discarded
 // without running — callers wanting a graceful drain must wait for their
 // in-flight jobs before calling Shutdown — but their onDone callbacks
 // still fire so no waiter is leaked.
@@ -501,9 +689,10 @@ func (r *Runtime) Shutdown() (*Report, error) {
 	if !r.persistent {
 		return nil, ErrNotPersistent
 	}
-	// Seal the submission queue: after the write section below, every
-	// Submit that will ever return nil has completed its send (the lock
-	// waited for in-flight readers) and every later Submit sees ErrClosed.
+	// Seal the submission path: after the write section below, every
+	// Submit that will ever return nil has finished publishing into its
+	// shard (the lock waited for in-flight readers) and every later Submit
+	// sees ErrClosed.
 	r.sealMu.Lock()
 	sealed := r.closed.CompareAndSwap(false, true)
 	r.sealMu.Unlock()
@@ -517,19 +706,23 @@ func (r *Runtime) Shutdown() (*Report, error) {
 	// could be exceeded by a worker's UsefulNS+SearchNS+IdleNS sum,
 	// breaking the accounting partition the report promises.
 	wall := nowNS() - r.startNS
-	// Flush submissions that no worker will ever pick up. Workers exited
-	// in teardown and the queue is sealed, so this drain observes every
-	// job ever admitted and still unrun.
-	for {
-		select {
-		case t := <-r.submitQ:
+	// Flush submissions that no worker will ever pick up — every shard,
+	// not just the one the last submitter touched. Workers exited in
+	// teardown and the path is sealed, so this drain observes every job
+	// ever admitted and still unrun.
+	for _, w := range r.workerList {
+		for {
+			t, ok := w.shard.Pop()
+			if !ok {
+				break
+			}
+			r.queued.Add(-1)
 			if t.onDone != nil {
 				t.onDone()
 			}
-		default:
-			return r.buildReport(wall), nil
 		}
 	}
+	return r.buildReport(wall), nil
 }
 
 // launch starts every worker goroutine (granted ones active, the rest
@@ -798,6 +991,12 @@ type worker struct {
 	id    topo.CoreID
 	rt    *Runtime
 	deque *deque.ChaseLev[rtTask]
+	// shard is the worker's external-injection queue: multi-producer
+	// (Submit/SubmitBatch pick a shard per job), drained by the owner
+	// first and by sibling thieves in DVS victim order. Sized at least
+	// SubmitQueueCap so a push under a successful aggregate reservation
+	// never fails.
+	shard *deque.Shard[rtTask]
 	state atomic.Int32
 	parkC chan struct{}
 
@@ -812,8 +1011,9 @@ type worker struct {
 	depth int
 
 	// pickup marks persistent-mode workers: when idle with nothing to
-	// steal, they pull new job roots from the runtime's submission queue.
-	// Written before the worker goroutine starts, read only by it.
+	// steal, they pull new job roots from the injection shards (their own
+	// first, then siblings'). Written before the worker goroutine starts,
+	// read only by it.
 	pickup bool
 
 	// waiting is the worker's announced-idle flag: the prepare half of the
@@ -901,6 +1101,7 @@ func newWorker(r *Runtime, id topo.CoreID) *worker {
 		id:    id,
 		rt:    r,
 		deque: deque.MustChaseLev[rtTask](r.cfg.QueueCap),
+		shard: deque.MustShard[rtTask](r.cfg.SubmitQueueCap),
 		parkC: make(chan struct{}, 1),
 	}
 }
@@ -975,14 +1176,13 @@ func (w *worker) loop() {
 			continue
 		}
 		// Persistent mode: an active worker with nothing to run and
-		// nothing to steal starts the next submitted job root.
+		// nothing to steal starts the next submitted job root — its own
+		// injection shard first, then siblings' in victim order.
 		if w.pickup {
-			select {
-			case t := <-w.rt.submitQ:
+			if t := w.takeInjected(); t != nil {
 				w.runTask(t)
 				w.spins = 0
 				continue
-			default:
 			}
 		}
 		// Bounded spin: a few yielding re-sweeps catch work that is just
@@ -1033,6 +1233,58 @@ func (w *worker) stealOnce() bool {
 	}
 	w.addSearch(nowNS() - t0)
 	return false
+}
+
+// takeInjected pulls the next submitted job root, if any: the worker's
+// own shard first (the locality Submit aimed for), then its victims'
+// shards in DVS order (injected work inherits the same tidal-flow steal
+// locality as spawned work), then every shard — the last resort that
+// rescues jobs stranded in the shard of a worker revoked after the
+// producer picked it. The aggregate queued counter gates the whole scan,
+// so at steady idle this is one atomic load.
+func (w *worker) takeInjected() *rtTask {
+	r := w.rt
+	if r.queued.Load() == 0 {
+		return nil
+	}
+	if t, ok := w.shard.Pop(); ok {
+		r.queued.Add(-1)
+		// More behind it: pass the signal on before running (the same
+		// wake chaining the steal path does).
+		if w.shard.Len() > 0 {
+			w.wakeOneThief()
+		}
+		return t
+	}
+	b := r.loadPolicy()
+	if b != nil {
+		w.victimBuf = b.policy.VictimsInto(w.id, w.victimBuf[:0])
+		for _, v := range w.victimBuf {
+			vw := r.workers[v]
+			if vw == nil || vw == w {
+				continue
+			}
+			if t, ok := vw.shard.Pop(); ok {
+				r.queued.Add(-1)
+				atomic.AddInt64(&w.stats.ShardSteals, 1)
+				if vw.shard.Len() > 0 {
+					vw.wakeOneThief()
+				}
+				return t
+			}
+		}
+	}
+	for _, vw := range r.workerList {
+		if vw == w {
+			continue
+		}
+		if t, ok := vw.shard.Pop(); ok {
+			r.queued.Add(-1)
+			atomic.AddInt64(&w.stats.ShardSteals, 1)
+			return t
+		}
+	}
+	return nil
 }
 
 // runTask executes one task to completion (including its implicit joins).

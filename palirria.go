@@ -229,6 +229,10 @@ type RTReport = wsrt.Report
 // RTRuntime is a single-use real-threads runtime instance.
 type RTRuntime = wsrt.Runtime
 
+// RTJob pairs a task body with its completion callback for RTRuntime's
+// batched submission path (SubmitBatch).
+type RTJob = wsrt.Job
+
 // NewRuntime builds a real-threads work-stealing runtime.
 func NewRuntime(cfg RTConfig) (*RTRuntime, error) { return wsrt.New(cfg) }
 
@@ -259,7 +263,9 @@ var (
 	ErrNotPersistent = wsrt.ErrNotPersistent
 	// ErrRuntimeClosed reports Submit after Shutdown.
 	ErrRuntimeClosed = wsrt.ErrClosed
-	// ErrSubmitQueueFull reports a saturated persistent submission queue.
+	// ErrSubmitQueueFull reports that the aggregate bound on
+	// submitted-but-unstarted jobs (across the per-worker injection
+	// shards) is saturated.
 	ErrSubmitQueueFull = wsrt.ErrSubmitQueueFull
 )
 
