@@ -15,6 +15,13 @@
 // the end it prints per-class counts and latency percentiles; the exit
 // code is 0 when at least one job completed and nothing failed
 // unexpectedly.
+//
+// With -watch it additionally consumes the server's /events SSE stream
+// for the duration of the run, printing a live per-pool table
+// (completions, sheds, estimator desire and allotment, dropped events)
+// every -watch-interval, a final table at the end, and each pool's
+// submit-to-start latency quantiles from /status. A malformed SSE frame
+// fails the run.
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 	work := flag.Int("work", 20000, "synthetic cycles per leaf")
 	batch := flag.Int("batch", 1, "jobs per request via /submit?count= batch admission; each tick still fires one request")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	watch := flag.Bool("watch", false, "consume the server's /events SSE stream and print live per-pool completion/desire tables")
+	watchInterval := flag.Duration("watch-interval", time.Second, "live table refresh period in -watch mode")
 	flag.Parse()
 
 	if *batch < 1 {
@@ -51,9 +60,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "palirria-load:", err)
 		os.Exit(2)
 	}
+	var w *watcher
+	if *watch {
+		w, err = startWatch(*target, *tenant, *watchInterval, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-load: watch:", err)
+			os.Exit(2)
+		}
+	}
 	res := run(*target, *tenant, ws, *fanout, *work, *batch, *timeout, os.Stdout)
+	var watchErr error
+	if w != nil {
+		watchErr = w.stop()
+		if watchErr != nil {
+			fmt.Fprintln(os.Stderr, "palirria-load: watch:", watchErr)
+		}
+		if err := printAdmitQuantiles(*target, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-load: status:", err)
+		}
+	}
 	res.print(os.Stdout)
-	if res.ok == 0 || res.failed > 0 {
+	if res.ok == 0 || res.failed > 0 || watchErr != nil {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"palirria/internal/obs/stream"
+)
+
+// sseFrame is one parsed Server-Sent-Events frame.
+type sseFrame struct {
+	id      string
+	event   string
+	data    string
+	comment bool
+}
+
+// consumeSSE parses r as an SSE byte stream, invoking fn for each
+// complete frame. It returns nil on EOF (the server or the caller ended
+// the stream) and an error on a malformed line or when fn rejects a
+// frame — palirria-load treats both as a failed run.
+func consumeSSE(r io.Reader, fn func(sseFrame) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var cur sseFrame
+	pending := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if pending {
+				if err := fn(cur); err != nil {
+					return err
+				}
+			}
+			cur = sseFrame{}
+			pending = false
+		case strings.HasPrefix(line, ":"):
+			if err := fn(sseFrame{comment: true, data: strings.TrimPrefix(line[1:], " ")}); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[4:]
+			pending = true
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+			pending = true
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[6:]
+			pending = true
+		default:
+			return fmt.Errorf("malformed SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil && err != context.Canceled &&
+		!strings.Contains(err.Error(), "context canceled") {
+		return err
+	}
+	return nil
+}
+
+// poolWatch accumulates one pool's live counters from the stream.
+type poolWatch struct {
+	admitted, started, completed, cancelled, shed int64
+	desire, granted, capacity                     int
+}
+
+// watcher consumes a palirria-serve /events stream on its own goroutine
+// and prints a live per-pool table line once per interval.
+type watcher struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	log    io.Writer
+
+	mu     sync.Mutex
+	pools  map[string]*poolWatch
+	drops  int64 // events the server dropped for us (drop frames)
+	frames int64
+	err    error
+}
+
+// startWatch opens the SSE subscription and begins consuming. The
+// returned watcher must be stopped; stop reports any malformed frame.
+func startWatch(target, tenant string, interval time.Duration, log io.Writer) (*watcher, error) {
+	url := strings.TrimRight(target, "/") + "/events"
+	if tenant != "" {
+		url += "?tenant=" + tenant
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// No client timeout: the subscription lives until stop cancels it.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("GET /events: status %d", resp.StatusCode)
+	}
+	w := &watcher{
+		cancel: cancel,
+		done:   make(chan struct{}),
+		log:    log,
+		pools:  map[string]*poolWatch{},
+	}
+	go func() {
+		defer close(w.done)
+		defer resp.Body.Close()
+		if err := consumeSSE(resp.Body, w.handle); err != nil {
+			w.mu.Lock()
+			w.err = err
+			w.mu.Unlock()
+		}
+	}()
+	go w.printLoop(interval)
+	return w, nil
+}
+
+// handle folds one frame into the live counters.
+func (w *watcher) handle(f sseFrame) error {
+	if f.comment {
+		return nil // heartbeat
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.frames++
+	if f.event == "drop" {
+		var d struct {
+			Dropped int64 `json:"dropped"`
+		}
+		if err := json.Unmarshal([]byte(f.data), &d); err != nil {
+			return fmt.Errorf("bad drop frame %q: %w", f.data, err)
+		}
+		w.drops += d.Dropped
+		return nil
+	}
+	var ev stream.Event
+	if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+		return fmt.Errorf("bad event data %q: %w", f.data, err)
+	}
+	if ev.Kind.String() != f.event {
+		return fmt.Errorf("event name %q does not match data kind %q", f.event, ev.Kind)
+	}
+	pw := w.pools[ev.Pool]
+	if pw == nil {
+		pw = &poolWatch{}
+		w.pools[ev.Pool] = pw
+	}
+	switch ev.Kind {
+	case stream.KindAdmitted:
+		pw.admitted++
+	case stream.KindStarted:
+		pw.started++
+	case stream.KindCompleted:
+		pw.completed++
+	case stream.KindCancelled:
+		pw.cancelled++
+	case stream.KindShed:
+		pw.shed++
+	case stream.KindQuantum:
+		pw.desire, pw.granted, pw.capacity = ev.Desire, ev.Granted, ev.Capacity
+	}
+	return nil
+}
+
+func (w *watcher) printLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.printTable("watch")
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// printTable renders one line per pool with the live counters.
+func (w *watcher) printTable(prefix string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.pools))
+	for n := range w.pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pw := w.pools[n]
+		fmt.Fprintf(w.log,
+			"%s pool=%s admitted=%d completed=%d cancelled=%d shed=%d desire=%d allot=%d cap=%d drops=%d\n",
+			prefix, n, pw.admitted, pw.completed, pw.cancelled, pw.shed,
+			pw.desire, pw.granted, pw.capacity, w.drops)
+	}
+}
+
+// stop ends the subscription, prints the final table, and returns the
+// first malformed-frame error, if any.
+func (w *watcher) stop() error {
+	w.cancel()
+	select {
+	case <-w.done:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("watch consumer did not stop")
+	}
+	w.printTable("final")
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.frames == 0 && w.err == nil {
+		return fmt.Errorf("watch saw no events")
+	}
+	return w.err
+}
+
+// printAdmitQuantiles fetches /status and prints each pool's
+// submit-to-start latency quantiles.
+func printAdmitQuantiles(target string, log io.Writer) error {
+	resp, err := http.Get(strings.TrimRight(target, "/") + "/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Pools []struct {
+			Name     string  `json:"name"`
+			AdmitP50 float64 `json:"admit_p50_seconds"`
+			AdmitP99 float64 `json:"admit_p99_seconds"`
+		} `json:"pools"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	for _, p := range st.Pools {
+		fmt.Fprintf(log, "pool %s: admit p50=%s p99=%s\n", p.Name,
+			time.Duration(p.AdmitP50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p.AdmitP99*float64(time.Second)).Round(time.Microsecond))
+	}
+	return nil
+}

@@ -13,9 +13,20 @@
 //	GET  /healthz                             liveness probe
 //	GET  /metrics                             Prometheus text format
 //	GET  /status                              pool stats + tenancy snapshot
+//	GET  /events?kind=&job=&tenant=           live SSE event stream
 //	POST /submit?tenant=&fanout=&work=        run one job, reply when done
 //	POST /submit?count=N&...                  run N jobs via batch admission
 //	POST /drain                               drain all pools, then exit 0
+//
+// /events streams job lifecycle, estimator quantum, and scheduler events
+// as Server-Sent Events; kind takes a comma-separated list of event
+// kinds, job a single job id, tenant a pool name. Every subscriber has a
+// bounded buffer (-event-buffer): a slow client loses events — announced
+// by "drop" frames carrying exact counts — rather than backpressuring
+// the scheduler. Comment heartbeats keep idle connections alive. The
+// -sink flag additionally exports the full stream to a pluggable backend
+// (jsonl:-, jsonl:/path, or prom:http://host/path) through a bounded,
+// retrying spooler.
 //
 // Submit replies 200 on completion, 429 while the pool sheds load or its
 // admission queue is full, 503 once draining, and 400 on bad parameters.
@@ -44,6 +55,7 @@ import (
 	"time"
 
 	"palirria/internal/obs"
+	"palirria/internal/obs/stream"
 	"palirria/internal/serve"
 	"palirria/internal/topo"
 	"palirria/internal/wsrt"
@@ -59,6 +71,10 @@ func main() {
 	flag.DurationVar(&opts.rearbitrate, "rearbitrate", 20*time.Millisecond, "re-arbitration period (multi-tenant mode)")
 	flag.IntVar(&opts.queueCap, "queue-cap", 128, "admission queue capacity per pool")
 	flag.IntVar(&opts.shedQuanta, "shed-quanta", 8, "pinned quanta before the shed latch arms")
+	flag.StringVar(&opts.sink, "sink", "", "export the event stream to a sink: jsonl:-, jsonl:/path, or prom:http://host/path")
+	flag.DurationVar(&opts.sinkFlush, "sink-flush", time.Second, "sink spooler flush interval")
+	flag.IntVar(&opts.eventBuf, "event-buffer", 1024, "per-subscriber /events buffer (events beyond it are dropped and counted)")
+	flag.DurationVar(&opts.heartbeat, "heartbeat", 10*time.Second, "/events comment-heartbeat period")
 	flag.Parse()
 
 	s, err := newServer(opts)
@@ -93,6 +109,10 @@ type options struct {
 	rearbitrate time.Duration
 	queueCap    int
 	shedQuanta  int
+	sink        string
+	sinkFlush   time.Duration
+	eventBuf    int
+	heartbeat   time.Duration
 }
 
 // server owns the pools, the optional tenancy, and the shared metrics
@@ -103,6 +123,12 @@ type server struct {
 	names []string // tenant order, for stable /status output
 	pools map[string]*serve.Pool
 	ten   *serve.Tenancy // nil in single-tenant mode
+
+	hub       *stream.Hub
+	eventBuf  int
+	heartbeat time.Duration
+	spool     *stream.Spooler // nil without -sink
+	sinkClose func() error    // releases the sink's file, if any
 
 	drainOnce sync.Once
 	drained   chan struct{}
@@ -117,11 +143,29 @@ func newServer(opts options) (*server, error) {
 	if len(names) == 0 {
 		return nil, errors.New("no tenants configured")
 	}
+	if opts.eventBuf <= 0 {
+		opts.eventBuf = 1024
+	}
+	if opts.heartbeat <= 0 {
+		opts.heartbeat = 10 * time.Second
+	}
 	s := &server{
-		reg:     obs.NewRegistry(),
-		names:   names,
-		pools:   make(map[string]*serve.Pool, len(names)),
-		drained: make(chan struct{}),
+		reg:       obs.NewRegistry(),
+		names:     names,
+		pools:     make(map[string]*serve.Pool, len(names)),
+		hub:       stream.NewHub(),
+		eventBuf:  opts.eventBuf,
+		heartbeat: opts.heartbeat,
+		drained:   make(chan struct{}),
+	}
+	s.hub.Register(s.reg)
+	if opts.sink != "" {
+		sink, closer, err := stream.ParseSink(opts.sink)
+		if err != nil {
+			return nil, err
+		}
+		s.sinkClose = closer
+		s.spool = stream.NewSpooler(s.hub, sink, stream.SpoolConfig{FlushEvery: opts.sinkFlush})
 	}
 	for _, name := range names {
 		mesh, err := topo.NewMesh(dims...)
@@ -138,6 +182,7 @@ func newServer(opts options) (*server, error) {
 			QueueCap:   opts.queueCap,
 			ShedQuanta: opts.shedQuanta,
 			Metrics:    s.reg,
+			Events:     s.hub,
 		})
 		if err != nil {
 			s.close()
@@ -179,6 +224,7 @@ func (s *server) handler() http.Handler {
 	})
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/drain", s.handleDrain)
 	return mux
@@ -274,6 +320,92 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEvents streams the hub over Server-Sent Events. Each event goes
+// out as an "id:"/"event:"/"data:" frame (id = hub sequence number,
+// event = kind name, data = the JSON event); whenever the subscription
+// has dropped more events since the last frame, a "drop" frame reports
+// the delta and running total; comment heartbeats mark liveness. A
+// client that stops reading wedges only its own handler goroutine — the
+// hub keeps dropping (and counting) past the bounded buffer.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	q := r.URL.Query()
+	var kinds []stream.Kind
+	if ks := q.Get("kind"); ks != "" {
+		for _, part := range strings.Split(ks, ",") {
+			k, ok := stream.ParseKind(strings.TrimSpace(part))
+			if !ok {
+				http.Error(w, fmt.Sprintf("unknown kind %q", part), http.StatusBadRequest)
+				return
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	var jobID uint64
+	if js := q.Get("job"); js != "" {
+		v, err := strconv.ParseUint(js, 10, 64)
+		if err != nil || v == 0 {
+			http.Error(w, "bad job id", http.StatusBadRequest)
+			return
+		}
+		jobID = v
+	}
+	pool := q.Get("tenant")
+	if pool != "" {
+		if _, ok := s.pools[pool]; !ok {
+			http.Error(w, fmt.Sprintf("unknown tenant %q", pool), http.StatusNotFound)
+			return
+		}
+	}
+	sub := s.hub.Subscribe(stream.SubOptions{
+		Buf: s.eventBuf, Kinds: kinds, Job: jobID, Pool: pool,
+	})
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": palirria-serve event stream\n\n")
+	fl.Flush()
+
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
+	var reported int64
+	dropFrame := func() {
+		if d := sub.Dropped(); d > reported {
+			fmt.Fprintf(w, "event: drop\ndata: {\"dropped\":%d,\"total\":%d}\n\n",
+				d-reported, d)
+			reported = d
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return // hub closed: server shutting down
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data)
+			dropFrame()
+			fl.Flush()
+		case <-hb.C:
+			fmt.Fprintf(w, ": heartbeat\n\n")
+			dropFrame()
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 // statusReply is the /status response body.
 type statusReply struct {
 	Pools     []serve.Stats        `json:"pools"`
@@ -326,7 +458,8 @@ func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
 }
 
 // close releases whatever newServer built; pools that never drained are
-// drained with a short grace period.
+// drained with a short grace period. The hub closes last so the drains'
+// terminal events still reach the sink before its final flush.
 func (s *server) close() {
 	if s.ten != nil {
 		s.ten.Close()
@@ -336,6 +469,13 @@ func (s *server) close() {
 	for _, p := range s.pools {
 		p.Drain(ctx) //nolint:errcheck // best-effort teardown
 	}
+	if s.spool != nil {
+		s.spool.Close()
+	}
+	if s.sinkClose != nil {
+		s.sinkClose() //nolint:errcheck // best-effort teardown
+	}
+	s.hub.Close()
 }
 
 // fanJob builds the synthetic serving workload: a binary fan of n leaves,

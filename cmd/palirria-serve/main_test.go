@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -270,4 +274,188 @@ func readAll(t *testing.T, resp *http.Response) string {
 		}
 	}
 	return sb.String()
+}
+
+// TestServerEventsSSE drives a live SSE subscription end to end: frames
+// must be well-formed (id/event/data), carry JSON bodies, and include
+// the submitted job's admitted and completed lifecycle events.
+func TestServerEventsSSE(t *testing.T) {
+	opts := testOptions()
+	opts.heartbeat = 25 * time.Millisecond
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/events?kind=admitted,completed", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Submit once the subscription is live.
+	go func() {
+		r, err := http.Post(ts.URL+"/submit?fanout=4&work=500", "", nil)
+		if err == nil {
+			r.Body.Close()
+		}
+	}()
+
+	seen := map[string]bool{}
+	var sawHeartbeat bool
+	sc := bufio.NewScanner(resp.Body)
+	var id, event, data string
+	for sc.Scan() && !(seen["admitted"] && seen["completed"] && sawHeartbeat) {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" {
+				if id == "" || data == "" {
+					t.Fatalf("frame %q missing id or data", event)
+				}
+				var ev map[string]any
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("data not JSON: %q", data)
+				}
+				if ev["kind"] != event {
+					t.Fatalf("data kind %v != event name %q", ev["kind"], event)
+				}
+				if event == "admitted" || event == "completed" {
+					if ev["job"] != float64(1) {
+						t.Fatalf("job id = %v, want 1", ev["job"])
+					}
+					seen[event] = true
+				}
+			}
+			id, event, data = "", "", ""
+		case strings.HasPrefix(line, ": "):
+			sawHeartbeat = true
+		case strings.HasPrefix(line, "id: "):
+			id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			data = line[6:]
+		default:
+			t.Fatalf("malformed SSE line %q", line)
+		}
+	}
+	if !seen["admitted"] || !seen["completed"] || !sawHeartbeat {
+		t.Fatalf("stream ended early: seen=%v heartbeat=%v (%v)", seen, sawHeartbeat, sc.Err())
+	}
+}
+
+func TestServerEventsValidation(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/events?kind=bogus", http.StatusBadRequest},
+		{"/events?job=abc", http.StatusBadRequest},
+		{"/events?job=0", http.StatusBadRequest},
+		{"/events?tenant=nope", http.StatusNotFound},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestServerJSONLSink runs the full path flag -> ParseSink -> Spooler ->
+// file: after a submit and close, the file holds the lifecycle events.
+func TestServerJSONLSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	opts := testOptions()
+	opts.sink = "jsonl:" + path
+	opts.sinkFlush = 10 * time.Millisecond
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	resp, err := http.Post(ts.URL+"/submit?fanout=4&work=500", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	s.close() // flushes the spooler
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted, completed bool
+	for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("sink line not JSON: %q", line)
+		}
+		switch ev["kind"] {
+		case "admitted":
+			admitted = true
+		case "completed":
+			completed = true
+		}
+	}
+	if !admitted || !completed {
+		t.Fatalf("sink file missing lifecycle events:\n%s", b)
+	}
+}
+
+func TestServerStatusHasAdmitQuantiles(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/submit?fanout=4&work=500", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	p := st.Pools[0]
+	if p.AdmitP50 <= 0 || p.AdmitP99 <= 0 || p.AdmitP50 > p.AdmitP99 {
+		t.Fatalf("admit quantiles p50=%g p99=%g", p.AdmitP50, p.AdmitP99)
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"palirria/internal/core"
+	"palirria/internal/obs/stream"
 	"palirria/internal/serve"
 	"palirria/internal/topo"
 	"palirria/internal/wsrt"
@@ -99,6 +100,15 @@ type Script struct {
 	// Tenancy knobs: re-arbitration period and when the first pool drains.
 	RearbEveryUS   int64 `json:"rearb_every_us,omitempty"`
 	DrainFirstAtUS int64 `json:"drain_first_at_us,omitempty"`
+	// Streaming knobs (pool layer): StreamSubs > 0 attaches an event hub to
+	// the pool and runs that many churning subscribers that attach, read for
+	// StreamChurnUS microseconds through a StreamBuf-slot buffer, and detach,
+	// over and over, while a durable terminal-event subscriber audits that
+	// every admitted job yields exactly one completed/cancelled event or a
+	// counted drop — and that nothing is delivered after a Close returns.
+	StreamSubs    int   `json:"stream_subs,omitempty"`
+	StreamBuf     int   `json:"stream_buf,omitempty"`
+	StreamChurnUS int64 `json:"stream_churn_us,omitempty"`
 }
 
 // Marshal renders the script as its canonical replay bytes.
@@ -540,8 +550,50 @@ func ledgerSplit(recs []*jobRec, pick func(j int) bool) (completed, discarded in
 	return completed, discarded
 }
 
-// runPool drives a serve.Pool, racing Drain against the submit storm.
+// streamChurn attaches and detaches small-buffer subscribers against the
+// hub until stopped. Each cycle verifies the detach contract: after Close
+// returns the event channel drains to a close (never hangs) and the
+// delivered count stays frozen — no event lands after a subscriber close.
+func streamChurn(hub *stream.Hub, sc *Script, stop <-chan struct{}, res *Result) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		sub := hub.Subscribe(stream.SubOptions{Buf: sc.StreamBuf})
+		deadline := time.After(time.Duration(sc.StreamChurnUS) * time.Microsecond)
+	read:
+		for {
+			select {
+			case _, ok := <-sub.Events():
+				if !ok {
+					break read
+				}
+			case <-deadline:
+				break read
+			case <-stop:
+				break read
+			}
+		}
+		sub.Close()
+		frozen := sub.Delivered()
+		for range sub.Events() { // buffered leftovers, then the close
+		}
+		if d := sub.Delivered(); d != frozen {
+			res.fail("stream: %d event(s) delivered after subscriber Close returned", d-frozen)
+		}
+	}
+}
+
+// runPool drives a serve.Pool, racing Drain against the submit storm. With
+// StreamSubs set it also churns event subscribers against the pool's hub
+// and audits terminal-event conservation through a durable subscriber.
 func runPool(sc *Script, res *Result) {
+	var hub *stream.Hub
+	if sc.StreamSubs > 0 {
+		hub = stream.NewHub()
+	}
 	p, err := serve.New(serve.Config{
 		Name: "chaos",
 		Runtime: wsrt.Config{
@@ -551,6 +603,7 @@ func runPool(sc *Script, res *Result) {
 			SubmitQueueCap: sc.SubmitQueueCap,
 		},
 		QueueCap: sc.PoolQueueCap,
+		Events:   hub,
 	})
 	if err != nil {
 		res.fail("build pool: %v", err)
@@ -558,6 +611,33 @@ func runPool(sc *Script, res *Result) {
 	}
 	recs := newLedger(sc)
 	start := time.Now()
+
+	// The durable subscriber watches only terminal events; together with its
+	// drop counter it must account for every admission the pool books.
+	var durable *stream.Sub
+	var seenTerminal int64
+	durDone := make(chan struct{})
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if hub != nil {
+		durable = hub.Subscribe(stream.SubOptions{
+			Buf:   sc.StreamBuf,
+			Kinds: []stream.Kind{stream.KindCompleted, stream.KindCancelled},
+		})
+		go func() {
+			defer close(durDone)
+			for range durable.Events() {
+				seenTerminal++
+			}
+		}()
+		for i := 0; i < sc.StreamSubs; i++ {
+			churnWG.Add(1)
+			go func() {
+				defer churnWG.Done()
+				streamChurn(hub, sc, churnStop, res)
+			}()
+		}
+	}
 
 	oscDone := make(chan struct{})
 	go func() {
@@ -585,9 +665,26 @@ func runPool(sc *Script, res *Result) {
 		}
 	}
 	<-oscDone
+	if hub != nil {
+		// Drain has returned, so every terminal event is on the hub (the pool
+		// publishes them before releasing the job's slot). Detach everything
+		// and let the durable reader finish counting its buffered tail.
+		close(churnStop)
+		churnWG.Wait()
+		durable.Close()
+		<-durDone
+		hub.Close()
+	}
 	checkLedger(recs, res)
 	completed, discarded := ledgerSplit(recs, func(int) bool { return true })
 	checkPoolStats(p, res, completed, discarded)
+	if hub != nil {
+		st := p.Stats()
+		if got := seenTerminal + int64(durable.Dropped()); got != st.Admitted {
+			res.fail("stream: %d terminal event(s) seen + %d dropped != %d admitted",
+				seenTerminal, durable.Dropped(), st.Admitted)
+		}
+	}
 }
 
 // runTenancy drives two pools under one arbitration mesh: submissions

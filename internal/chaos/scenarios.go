@@ -278,6 +278,40 @@ var scenarios = []Scenario{
 		},
 	},
 	{
+		Name: "stream-under-churn",
+		Description: "event subscribers attach and detach against the pool's " +
+			"hub while caps oscillate and a mid-storm Drain flushes the " +
+			"queue; every admitted job must yield exactly one terminal event " +
+			"or a counted drop, and nothing may land after a subscriber close",
+		plan: func(sc *Script, rng *xrand.Xoshiro256) {
+			sc.Layer = LayerPool
+			sc.MeshW, sc.MeshH = 4, 4
+			sc.Source = 5
+			sc.QuantumUS = int64(250 + rng.Intn(251))
+			sc.SubmitQueueCap = 128
+			sc.PoolQueueCap = 16 + rng.Intn(49)
+			sc.Submitters = 6 + rng.Intn(7)
+			// Tiny buffers force the drop path; churn fast enough that
+			// detaches land inside the drain and the cap flips.
+			sc.StreamSubs = 3 + rng.Intn(4)
+			sc.StreamBuf = 1 + rng.Intn(8)
+			sc.StreamChurnUS = int64(100 + rng.Intn(401))
+			n := 120 + rng.Intn(81)
+			for i := 0; i < n; i++ {
+				sc.Jobs = append(sc.Jobs, JobSpec{
+					Leaves:    2 + rng.Intn(15),
+					ComputeNS: int64(500 + rng.Intn(2500)),
+				})
+			}
+			at := int64(0)
+			for i := 0; i < 10+rng.Intn(11); i++ {
+				at += int64(300 + rng.Intn(501))
+				sc.CapEvents = append(sc.CapEvents, CapEvent{AtUS: at, Cap: rng.Intn(17)})
+			}
+			sc.ShutdownAtUS = int64(1500 + rng.Intn(3501))
+		},
+	},
+	{
 		Name: "tenancy-churn",
 		Description: "two pools under one arbiter with fast re-arbitration; " +
 			"one tenant drains mid-storm, the survivor keeps serving, and " +

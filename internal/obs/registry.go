@@ -74,6 +74,55 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// convention as Prometheus's histogram_quantile. With no observations it
+// returns 0; a target rank beyond the last finite bucket (observations
+// that fell into the implicit +Inf bucket) clamps to the largest finite
+// bound. The estimate is approximate under concurrent Observe: buckets
+// are read one at a time, so a racing observation may or may not count.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, ub := range h.bounds {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if ub <= 0 {
+				lower = ub // negative first bucket: no zero base to lerp from
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+	}
+	// Rank lands in the +Inf bucket.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
@@ -183,14 +232,15 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 
 // WritePrometheus renders every registered series in Prometheus text
 // exposition format, grouped into families with one HELP/TYPE header
-// each.
+// each. Output order is fully deterministic — families sorted by name,
+// series within a family sorted by rendered label set — regardless of
+// registration order, so repeated scrapes and pushed sink batches diff
+// cleanly.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	ms := append([]*metric(nil), r.ms...)
 	r.mu.Unlock()
 
-	// Group by family, keeping first-registration order inside and across
-	// families for stable output.
 	order := []string{}
 	families := map[string][]*metric{}
 	for _, m := range ms {
@@ -202,6 +252,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	sort.Strings(order)
 	for _, name := range order {
 		fam := families[name]
+		sort.SliceStable(fam, func(i, j int) bool { return fam[i].labels < fam[j].labels })
 		if fam[0].help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", name, fam[0].help)
 		}

@@ -148,3 +148,84 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 		t.Fatalf("sum = %g, want 2000", got)
 	}
 }
+
+// TestWritePrometheusGolden locks the full output byte-for-byte:
+// families sorted by name, series within a family sorted by label set,
+// regardless of (deliberately scrambled) registration order.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Register out of order on both axes: family names and labels.
+	reg.GaugeFunc("zz_last_metric", "Registered first, rendered last.",
+		func() float64 { return 7 })
+	reg.GaugeFunc("mid_queue_len", "Queue length.",
+		func() float64 { return 3 }, Label{"core", "9"})
+	reg.GaugeFunc("mid_queue_len", "Queue length.",
+		func() float64 { return 1 }, Label{"core", "10"})
+	reg.GaugeFunc("mid_queue_len", "Queue length.",
+		func() float64 { return 2 }, Label{"core", "2"})
+	c := reg.Counter("aa_first_total", "Registered last, rendered first.")
+	c.Add(5)
+
+	const golden = `# HELP aa_first_total Registered last, rendered first.
+# TYPE aa_first_total counter
+aa_first_total 5
+# HELP mid_queue_len Queue length.
+# TYPE mid_queue_len gauge
+mid_queue_len{core="10"} 1
+mid_queue_len{core="2"} 2
+mid_queue_len{core="9"} 3
+# HELP zz_last_metric Registered first, rendered last.
+# TYPE zz_last_metric gauge
+zz_last_metric 7
+`
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		reg.WritePrometheus(&buf)
+		if buf.String() != golden {
+			t.Fatalf("render %d differs from golden:\n--- got ---\n%s--- want ---\n%s",
+				i, buf.String(), golden)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{0.01, 0.1, 1})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+
+	// 100 samples: 50 in (0, 0.01], 40 in (0.01, 0.1], 10 in (0.1, 1].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+
+	// Median rank 50 is exactly the top of the first bucket.
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %g, want 0.01", got)
+	}
+	// Buckets span ranks 1..50, 51..90, 91..100; rank 99 interpolates
+	// 9/10 into the third bucket.
+	want := 0.1 + (1-0.1)*(99-90)/10.0
+	if got := h.Quantile(0.99); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("p99 = %g, want %g", got, want)
+	}
+	// Quantiles are monotone and clamped.
+	if h.Quantile(-1) > h.Quantile(0.5) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("clamping broken")
+	}
+
+	// Observations beyond the last finite bound clamp to it.
+	h2 := r.Histogram("q2", "", []float64{0.01})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 0.01 {
+		t.Fatalf("overflow quantile = %g, want last finite bound 0.01", got)
+	}
+}

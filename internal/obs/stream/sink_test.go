@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSpoolerDeliversBatches(t *testing.T) {
+	h := NewHub()
+	mem := &MemSink{}
+	sp := NewSpooler(h, mem, SpoolConfig{FlushEvery: 5 * time.Millisecond, MaxBatch: 8})
+	for i := 0; i < 20; i++ {
+		h.Publish(Event{Kind: KindAdmitted, Job: uint64(i + 1)})
+	}
+	waitFor(t, "20 pushed events", func() bool { return len(mem.Events()) == 20 })
+	sp.Close()
+	evs := mem.Events()
+	for i, ev := range evs {
+		if ev.Job != uint64(i+1) {
+			t.Fatalf("out of order at %d: %+v", i, ev)
+		}
+	}
+	st := sp.Stats()
+	if st.PushedEvents != 20 || st.Failed != 0 || st.SpoolDropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSpoolerFlushesOnClose(t *testing.T) {
+	h := NewHub()
+	mem := &MemSink{}
+	sp := NewSpooler(h, mem, SpoolConfig{FlushEvery: time.Hour}) // ticker never fires
+	h.Publish(Event{Kind: KindCompleted, Job: 1})
+	// The event may still be in the subscription channel; Close must
+	// drain, flush, and push it.
+	sp.Close()
+	if n := len(mem.Events()); n != 1 {
+		t.Fatalf("got %d events after Close, want 1", n)
+	}
+}
+
+func TestSpoolerRetriesWithBackoff(t *testing.T) {
+	h := NewHub()
+	mem := &MemSink{FailFirst: 2}
+	sp := NewSpooler(h, mem, SpoolConfig{
+		FlushEvery:  time.Millisecond,
+		Backoff:     time.Millisecond,
+		MaxAttempts: 5,
+	})
+	h.Publish(Event{Kind: KindCompleted, Job: 42})
+	waitFor(t, "retried push", func() bool { return len(mem.Events()) == 1 })
+	sp.Close()
+	st := sp.Stats()
+	if st.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2", st.Retries)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("failed = %d", st.Failed)
+	}
+}
+
+func TestSpoolerGivesUpAfterMaxAttempts(t *testing.T) {
+	h := NewHub()
+	mem := &MemSink{FailFirst: 1 << 30}
+	sp := NewSpooler(h, mem, SpoolConfig{
+		FlushEvery:  time.Millisecond,
+		Backoff:     time.Microsecond,
+		MaxAttempts: 3,
+	})
+	h.Publish(Event{Kind: KindCompleted})
+	waitFor(t, "failed batch", func() bool { return sp.Stats().Failed == 1 })
+	sp.Close()
+	if got := mem.Pushes(); got < 3 {
+		t.Fatalf("pushes = %d, want >= 3 attempts", got)
+	}
+	if len(mem.Events()) != 0 {
+		t.Fatal("failed batch recorded events")
+	}
+}
+
+// blockSink wedges until released — drives the spool to capacity.
+type blockSink struct {
+	release chan struct{}
+	mu      sync.Mutex
+	pushed  int
+}
+
+func (s *blockSink) Name() string { return "block" }
+func (s *blockSink) Push(batch []Event) error {
+	<-s.release
+	s.mu.Lock()
+	s.pushed++
+	s.mu.Unlock()
+	return nil
+}
+
+func TestSpoolerBoundsSpoolByEvictingOldest(t *testing.T) {
+	h := NewHub()
+	bs := &blockSink{release: make(chan struct{})}
+	sp := NewSpooler(h, bs, SpoolConfig{
+		FlushEvery: time.Hour,
+		MaxBatch:   1, // every event is its own batch
+		SpoolCap:   2,
+		Buf:        64,
+	})
+	// One batch wedges in Push; SpoolCap more fit in the spool; the rest
+	// must evict oldest rather than block the collector or grow memory.
+	for i := 0; i < 10; i++ {
+		h.Publish(Event{Kind: KindAdmitted, Job: uint64(i + 1)})
+	}
+	waitFor(t, "spool eviction", func() bool { return sp.Stats().SpoolDropped >= 1 })
+	close(bs.release)
+	sp.Close()
+	st := sp.Stats()
+	if st.SpoolDropped+st.PushedBatches+st.Failed != 10 {
+		t.Fatalf("batches unaccounted: %+v", st)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Push([]Event{
+		{Seq: 1, TS: 10, Kind: KindAdmitted, Pool: "web", Job: 3},
+		{Seq: 2, TS: 11, Kind: KindCompleted, Pool: "web", Job: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if ev.Kind != KindCompleted || ev.Job != 3 {
+		t.Fatalf("bad event: %+v", ev)
+	}
+}
+
+func TestPromPushSink(t *testing.T) {
+	var mu sync.Mutex
+	var last string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		last = string(b)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	s := NewPromPushSink(srv.URL, nil)
+	err := s.Push([]Event{
+		{Kind: KindCompleted, Pool: "web"},
+		{Kind: KindCompleted, Pool: "web"},
+		{Kind: KindShed, Pool: "batch", Reason: "full"},
+		{Kind: KindQuantum, Pool: "web", Raw: 5, Desire: 4, Granted: 3, Capacity: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	body := last
+	mu.Unlock()
+	for _, want := range []string{
+		`palirria_stream_events_total{kind="completed",pool="web"} 2`,
+		`palirria_stream_events_total{kind="shed",pool="batch"} 1`,
+		`palirria_stream_desire_workers{pool="web"} 4`,
+		`palirria_stream_granted_workers{pool="web"} 3`,
+		`palirria_stream_capacity_workers{pool="web"} 8`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("push body missing %q:\n%s", want, body)
+		}
+	}
+
+	// Counters accumulate across pushes.
+	if err := s.Push([]Event{{Kind: KindCompleted, Pool: "web"}}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	body = last
+	mu.Unlock()
+	if !strings.Contains(body, `palirria_stream_events_total{kind="completed",pool="web"} 3`) {
+		t.Fatalf("counter did not accumulate:\n%s", body)
+	}
+}
+
+func TestPromPushSinkNon2xxIsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	s := NewPromPushSink(srv.URL, nil)
+	if err := s.Push([]Event{{Kind: KindCompleted}}); err == nil {
+		t.Fatal("want error on 502")
+	}
+}
+
+func TestParseSink(t *testing.T) {
+	if _, _, err := ParseSink("bogus"); err == nil {
+		t.Fatal("want error for spec without scheme")
+	}
+	if _, _, err := ParseSink("ftp:thing"); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+	if _, _, err := ParseSink("prom:not-a-url"); err == nil {
+		t.Fatal("want error for non-http prom target")
+	}
+
+	s, closer, err := ParseSink("prom:http://127.0.0.1:9/x")
+	if err != nil || s.Name() != "prom" {
+		t.Fatalf("prom spec: %v %v", s, err)
+	}
+	closer() //nolint:errcheck
+
+	s, closer, err = ParseSink("jsonl:-")
+	if err != nil || s.Name() != "jsonl" {
+		t.Fatalf("stdout spec: %v %v", s, err)
+	}
+	closer() //nolint:errcheck
+
+	path := filepath.Join(t.TempDir(), "ev.jsonl")
+	s, closer, err = ParseSink("jsonl:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push([]Event{{Seq: 1, Kind: KindAdmitted}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(b), `"admitted"`) {
+		t.Fatalf("file sink: %v %q", err, b)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"palirria/internal/core"
 	"palirria/internal/obs"
+	"palirria/internal/obs/stream"
 	"palirria/internal/wsrt"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	// Metrics, when set, registers the pool's counters and the admission
 	// latency histogram (label pool=Name).
 	Metrics *obs.Registry
+	// Events, when set, publishes the pool's job lifecycle
+	// (admitted/started/completed/cancelled/shed) and per-quantum
+	// estimator digests on the hub, and is forwarded to the runtime so
+	// scheduler ring events stream too. Publishing never blocks: slow
+	// subscribers drop (and count) events, they cannot backpressure
+	// Submit or the workers.
+	Events *stream.Hub
 }
 
 // Pool lifecycle states.
@@ -51,6 +59,7 @@ const (
 )
 
 type job struct {
+	id    uint64
 	state atomic.Int32
 	done  chan struct{}
 }
@@ -60,6 +69,10 @@ type job struct {
 type Pool struct {
 	cfg Config
 	rt  *wsrt.Runtime
+	hub *stream.Hub // nil disables streaming
+
+	// jobSeq hands out the per-pool job ids carried on stream events.
+	jobSeq atomic.Uint64
 
 	// slots bounds resident jobs; acquired at admission, released when a
 	// job completes or is discarded.
@@ -118,8 +131,17 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Runtime.Metrics != nil && len(cfg.Runtime.MetricLabels) == 0 {
 		cfg.Runtime.MetricLabels = []obs.Label{{Key: "pool", Value: cfg.Name}}
 	}
+	// Forward the hub to the runtime so scheduler ring events stream too,
+	// labelled with the pool name.
+	if cfg.Events != nil && cfg.Runtime.Events == nil {
+		cfg.Runtime.Events = cfg.Events
+		if cfg.Runtime.EventLabel == "" {
+			cfg.Runtime.EventLabel = cfg.Name
+		}
+	}
 	p := &Pool{
 		cfg:       cfg,
+		hub:       cfg.Events,
 		slots:     make(chan struct{}, cfg.QueueCap),
 		drainedCh: make(chan struct{}),
 		idleCh:    make(chan struct{}, 1),
@@ -148,6 +170,16 @@ func New(cfg Config) (*Pool, error) {
 // Name returns the pool's label.
 func (p *Pool) Name() string { return p.cfg.Name }
 
+// publish fans one lifecycle event onto the pool's hub (no-op without
+// one). Hub publishing never blocks, so calling this from Submit, the
+// job callbacks, and the helper goroutine costs a few atomics at most.
+func (p *Pool) publish(kind stream.Kind, jobID uint64, reason string) {
+	if p.hub == nil {
+		return
+	}
+	p.hub.Publish(stream.Event{Kind: kind, Pool: p.cfg.Name, Job: jobID, Reason: reason})
+}
+
 // noteQuantum is the pool's estimator tap, invoked once per quantum on
 // the runtime's helper goroutine. It maintains the overload latch: armed
 // after ShedQuanta consecutive quanta of filtered desire pinned at the
@@ -155,6 +187,16 @@ func (p *Pool) Name() string { return p.cfg.Name }
 // desire drops below capacity.
 func (p *Pool) noteQuantum(q wsrt.QuantumInfo) {
 	p.lastDesire.Store(int64(q.Filtered))
+	if p.hub != nil {
+		p.hub.Publish(stream.Event{
+			Kind:     stream.KindQuantum,
+			Pool:     p.cfg.Name,
+			Raw:      q.Raw,
+			Desire:   q.Filtered,
+			Granted:  q.Granted,
+			Capacity: q.Capacity,
+		})
+	}
 	for {
 		peak := p.peakDesire.Load()
 		if int64(q.Filtered) <= peak || p.peakDesire.CompareAndSwap(peak, int64(q.Filtered)) {
@@ -198,12 +240,14 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 	}
 	if p.shedding.Load() {
 		p.rejectedShed.Add(1)
+		p.publish(stream.KindShed, 0, "shed")
 		return ErrOverloaded
 	}
 	select {
 	case p.slots <- struct{}{}:
 	default:
 		p.rejectedFull.Add(1)
+		p.publish(stream.KindShed, 0, "full")
 		return ErrQueueFull
 	}
 
@@ -225,6 +269,10 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 	// can never see more admissions than completions+cancellations+flight
 	// (the pre-submit increment with post-failure rollback could).
 	p.admitted.Add(1)
+	// Published after the runtime holds the job, matching the admitted
+	// counter; a fast job's started event may therefore precede its
+	// admitted event in stream order.
+	p.publish(stream.KindAdmitted, j.id, "")
 
 	return p.await(ctx, j)
 }
@@ -233,7 +281,7 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 // callback — the per-job half of admission, shared by Submit and
 // SubmitBatch. The caller owns the slot and inflight bookkeeping.
 func (p *Pool) prepare(fn wsrt.Func) (*job, wsrt.Func, func()) {
-	j := &job{done: make(chan struct{})}
+	j := &job{id: p.jobSeq.Add(1), done: make(chan struct{})}
 	submitNS := nowNS()
 	wrapped := func(c *wsrt.Ctx) {
 		if !j.state.CompareAndSwap(jobPending, jobRunning) {
@@ -243,16 +291,22 @@ func (p *Pool) prepare(fn wsrt.Func) (*job, wsrt.Func, func()) {
 		if p.latHist != nil {
 			p.latHist.Observe(float64(nowNS()-submitNS) / 1e9)
 		}
+		p.publish(stream.KindStarted, j.id, "")
 		fn(c)
 	}
 	onDone := func() {
 		// Fires after the job's task tree fully completed — or, for
 		// skipped/discarded jobs, as soon as the runtime flushes them.
+		// The terminal event publishes before the inflight decrement so
+		// that every admitted job's terminal event is on the hub by the
+		// time Drain observes the pool empty.
 		if j.state.CompareAndSwap(jobRunning, jobDone) {
 			p.running.Add(-1)
 			p.completed.Add(1)
+			p.publish(stream.KindCompleted, j.id, "")
 		} else {
 			p.cancelled.Add(1)
+			p.publish(stream.KindCancelled, j.id, "")
 		}
 		<-p.slots
 		if p.inflight.Add(-1) == 0 {
@@ -307,6 +361,9 @@ func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
 	}
 	if p.shedding.Load() {
 		p.rejectedShed.Add(int64(len(fns)))
+		for range fns {
+			p.publish(stream.KindShed, 0, "shed")
+		}
 		return fill(ErrOverloaded)
 	}
 	type admittedJob struct {
@@ -320,6 +377,7 @@ func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
 		case p.slots <- struct{}{}:
 		default:
 			p.rejectedFull.Add(1)
+			p.publish(stream.KindShed, 0, "full")
 			errs[i] = ErrQueueFull
 			continue
 		}
@@ -333,6 +391,9 @@ func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
 	}
 	n, err := p.rt.SubmitBatch(batch)
 	p.admitted.Add(int64(n))
+	for k := 0; k < n; k++ {
+		p.publish(stream.KindAdmitted, adm[k].j.id, "")
+	}
 	// Jobs past the accepted prefix never reached the runtime: unwind
 	// their admission and report the cause.
 	for k := n; k < len(adm); k++ {
@@ -473,6 +534,11 @@ type Stats struct {
 	Allotment int `json:"allotment"`
 	Capacity  int `json:"capacity"`
 	QueueCap  int `json:"queue_cap"`
+	// AdmitP50/AdmitP99 are submit-to-start latency quantiles in seconds,
+	// interpolated from the admission histogram (zero without Metrics or
+	// before the first started job).
+	AdmitP50 float64 `json:"admit_p50_seconds"`
+	AdmitP99 float64 `json:"admit_p99_seconds"`
 }
 
 // Stats samples the pool.
@@ -484,6 +550,11 @@ func (p *Pool) Stats() Stats {
 		queued = 0
 	}
 	st := p.state.Load()
+	var p50, p99 float64
+	if p.latHist != nil {
+		p50 = p.latHist.Quantile(0.50)
+		p99 = p.latHist.Quantile(0.99)
+	}
 	return Stats{
 		Name:         p.cfg.Name,
 		Admitted:     p.admitted.Load(),
@@ -501,6 +572,8 @@ func (p *Pool) Stats() Stats {
 		Allotment:    p.rt.AllotmentSize(),
 		Capacity:     p.rt.Capacity(),
 		QueueCap:     p.cfg.QueueCap,
+		AdmitP50:     p50,
+		AdmitP99:     p99,
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"palirria/internal/deque"
 	"palirria/internal/dvs"
 	"palirria/internal/obs"
+	"palirria/internal/obs/stream"
 	"palirria/internal/sysched"
 	"palirria/internal/topo"
 	"palirria/internal/trace"
@@ -128,6 +129,22 @@ type Config struct {
 	// 64): the aggregate number of submitted-but-unstarted job roots across
 	// all per-worker injection shards. Irrelevant for batch Run.
 	SubmitQueueCap int
+
+	// Events, when set, streams scheduler events onto the hub: a
+	// background pump drains the obs rings every few milliseconds and
+	// republishes selected kinds as stream.KindSched events. Workers keep
+	// their allocation-free ring emission; a nil hub leaves every hot path
+	// exactly as before. If Tracer is nil the runtime creates a private
+	// one (modest 4K rings) to feed the pump; if a Tracer is supplied the
+	// pump takes over its ring consumption — do not also call
+	// Tracer.Drain for trace export on the same run.
+	Events *stream.Hub
+	// EventLabel is stamped into Event.Pool on pumped events (the serving
+	// layer sets it to the pool name).
+	EventLabel string
+	// EventKinds selects which obs ring kinds the pump forwards (default
+	// stream.DefaultPumpKinds: grant, retire, park).
+	EventKinds []obs.Kind
 }
 
 // WorkerReport is one worker's accounting, in nanoseconds where the
@@ -245,6 +262,8 @@ type Runtime struct {
 	// helperRing carries the helper goroutine's grant/quantum events;
 	// allotSize and quanta back the live metrics gauges.
 	helperRing *obs.Ring
+	// pump republishes ring events on cfg.Events (nil without a hub).
+	pump *stream.Pump
 	allotSize  atomic.Int64
 	quanta     atomic.Int64
 
@@ -302,6 +321,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.SubmitQueueCap <= 0 {
 		cfg.SubmitQueueCap = 64
+	}
+	if cfg.Events != nil && cfg.Tracer == nil {
+		// The stream pump sources from obs rings; give it private,
+		// modestly-sized ones when the caller didn't ask for tracing.
+		cfg.Tracer = obs.NewTracer(obs.WithRingCap(4096), obs.WithTicksPerMicro(1000))
 	}
 	opts := []sysched.Option{sysched.WithInitialDiaspora(cfg.InitialDiaspora)}
 	if cfg.MaxDiaspora > 0 {
@@ -742,6 +766,14 @@ func (r *Runtime) launch(persistent bool) {
 		r.wg.Add(1)
 		go w.loop()
 	}
+	if r.cfg.Events != nil {
+		r.pump = stream.NewPump(r.cfg.Events, r.cfg.Tracer, stream.PumpConfig{
+			Label:  r.cfg.EventLabel,
+			Kinds:  r.cfg.EventKinds,
+			BaseNS: r.startNS,
+		})
+		r.pump.Start()
+	}
 	r.stopHelper = make(chan struct{})
 	r.helperDone = make(chan struct{})
 	if r.ctrl != nil {
@@ -764,6 +796,12 @@ func (r *Runtime) teardown() {
 		w.stop()
 	}
 	r.wg.Wait()
+	if r.pump != nil {
+		// Workers are quiescent: the pump's final drain flushes every
+		// remaining ring event onto the hub before teardown returns.
+		r.pump.Stop()
+		r.pump = nil
+	}
 }
 
 // buildReport assembles the final accounting after all workers stopped.
