@@ -1,0 +1,12 @@
+# Palirria cluster image: every cmd/ binary, statically linked (the
+# module is stdlib-only), on a scratch base. The default entrypoint is
+# the serve daemon; compose overrides it per service to run the router.
+FROM golang:1.22 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/ ./cmd/...
+
+FROM scratch
+COPY --from=build /out/ /usr/local/bin/
+ENTRYPOINT ["/usr/local/bin/palirria-serve"]

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"palirria/internal/cluster"
+)
+
+// clusterWatcher periodically scrapes a palirria-router's /cluster view
+// and prints a live membership table: one line per peer with its gossiped
+// state, desire, allotment, spare parallelism, queue depth, and admit
+// p99. It is the -router counterpart of the SSE pool watcher.
+type clusterWatcher struct {
+	url    string
+	log    io.Writer
+	stopCh chan struct{}
+	done   chan struct{}
+
+	mu      sync.Mutex
+	scrapes int64
+	lastErr error
+}
+
+// startClusterWatch begins scraping router's /cluster every interval.
+func startClusterWatch(router string, interval time.Duration, log io.Writer) *clusterWatcher {
+	cw := &clusterWatcher{
+		url:    strings.TrimRight(router, "/") + "/cluster",
+		log:    log,
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(cw.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cw.scrape("cluster")
+			case <-cw.stopCh:
+				return
+			}
+		}
+	}()
+	return cw
+}
+
+// scrape fetches the view once and prints it with the given prefix.
+func (cw *clusterWatcher) scrape(prefix string) {
+	v, err := cw.fetch()
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if err != nil {
+		cw.lastErr = err
+		return
+	}
+	cw.scrapes++
+	cw.lastErr = nil
+	for _, p := range v.Peers {
+		fmt.Fprintf(cw.log,
+			"%s peer=%s role=%s state=%s desire=%d allot=%d spare=%d queued=%d shed=%v p99=%s\n",
+			prefix, p.ID, p.Role, p.State, p.Desire, p.Allotment, p.Spare,
+			p.Queued, p.Shed,
+			time.Duration(p.AdmitP99*float64(time.Second)).Round(time.Microsecond))
+	}
+}
+
+func (cw *clusterWatcher) fetch() (cluster.View, error) {
+	resp, err := http.Get(cw.url)
+	if err != nil {
+		return cluster.View{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cluster.View{}, fmt.Errorf("GET /cluster: status %d", resp.StatusCode)
+	}
+	return cluster.DecodeView(resp.Body)
+}
+
+// stop ends the scrape loop, prints a final table, and fails when the
+// view was never readable (a router that can't tell us its membership is
+// a broken run, not a cosmetic miss).
+func (cw *clusterWatcher) stop() error {
+	close(cw.stopCh)
+	select {
+	case <-cw.done:
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("cluster watcher did not stop")
+	}
+	cw.scrape("final")
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.scrapes == 0 {
+		return fmt.Errorf("cluster view never scraped: %v", cw.lastErr)
+	}
+	return nil
+}

@@ -22,10 +22,20 @@
 // every -watch-interval, a final table at the end, and each pool's
 // submit-to-start latency quantiles from /status. A malformed SSE frame
 // fails the run.
+//
+// With -router the waves go through a palirria-router instead of a single
+// serve node, and -watch renders the router's live cluster table (peer,
+// state, desire, allotment, spare parallelism, admit p99) scraped from
+// /cluster instead of the per-pool SSE view.
+//
+// A target that refuses connections mid-run aborts the remaining waves
+// immediately: the run reports the refusal and exits non-zero rather than
+// hammering a dead port and burying the cause in a failure count.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,11 +46,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
 func main() {
 	target := flag.String("target", "http://localhost:8077", "palirria-serve base URL")
+	router := flag.String("router", "", "palirria-router base URL; submissions go through the cluster and -watch shows the live cluster table")
 	tenant := flag.String("tenant", "", "tenant to submit to (empty: server default)")
 	waves := flag.String("waves", "calm:50:1s,burst:300:1s,calm:50:1s", "arrival pattern: name:rps:duration,...")
 	fanout := flag.Int("fanout", 64, "leaves per job")
@@ -60,15 +72,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "palirria-load:", err)
 		os.Exit(2)
 	}
+	submitTarget := *target
+	if *router != "" {
+		submitTarget = *router
+	}
 	var w *watcher
+	var cw *clusterWatcher
 	if *watch {
-		w, err = startWatch(*target, *tenant, *watchInterval, os.Stdout)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "palirria-load: watch:", err)
-			os.Exit(2)
+		if *router != "" {
+			// Through a router the per-pool SSE stream is not available;
+			// the cluster membership table is the live view instead.
+			cw = startClusterWatch(*router, *watchInterval, os.Stdout)
+		} else {
+			w, err = startWatch(*target, *tenant, *watchInterval, os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "palirria-load: watch:", err)
+				os.Exit(2)
+			}
 		}
 	}
-	res := run(*target, *tenant, ws, *fanout, *work, *batch, *timeout, os.Stdout)
+	res := run(submitTarget, *tenant, ws, *fanout, *work, *batch, *timeout, os.Stdout)
 	var watchErr error
 	if w != nil {
 		watchErr = w.stop()
@@ -79,7 +102,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "palirria-load: status:", err)
 		}
 	}
+	if cw != nil {
+		if err := cw.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-load: cluster watch:", err)
+			watchErr = err
+		}
+	}
 	res.print(os.Stdout)
+	if err := res.abortReason(); err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-load:", err)
+		os.Exit(1)
+	}
 	if res.ok == 0 || res.failed > 0 || watchErr != nil {
 		os.Exit(1)
 	}
@@ -130,6 +163,7 @@ type result struct {
 	jobsDone  int64 // per-job completions inside 200 batch replies
 	jobsRej   int64 // per-job rejections inside 200 batch replies
 	latencies []time.Duration
+	abortErr  error // fatal condition that cut the run short
 }
 
 func (r *result) record(status int, lat time.Duration, err error) {
@@ -138,6 +172,12 @@ func (r *result) record(status int, lat time.Duration, err error) {
 	switch {
 	case err != nil:
 		r.failed++
+		// A refused connection means the target is gone, not overloaded:
+		// abort the remaining waves and surface the cause instead of
+		// burying it in the failure count.
+		if r.abortErr == nil && errors.Is(err, syscall.ECONNREFUSED) {
+			r.abortErr = fmt.Errorf("target refused connection mid-run: %w", err)
+		}
 	case status == http.StatusOK:
 		r.ok++
 		r.latencies = append(r.latencies, lat)
@@ -148,6 +188,13 @@ func (r *result) record(status int, lat time.Duration, err error) {
 	default:
 		r.failed++
 	}
+}
+
+// abortReason returns the fatal error that cut the run short, if any.
+func (r *result) abortReason() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.abortErr
 }
 
 func (r *result) recordBatch(completed, rejected int64) {
@@ -192,6 +239,7 @@ func run(target, tenant string, waves []wave, fanout, work, batch int, timeout t
 	client := &http.Client{Timeout: timeout}
 	res := &result{}
 	var wg sync.WaitGroup
+waves:
 	for _, wv := range waves {
 		fmt.Fprintf(log, "wave %q: %d rps for %s\n", wv.name, wv.rps, wv.dur)
 		interval := time.Second / time.Duration(wv.rps)
@@ -199,6 +247,11 @@ func run(target, tenant string, waves []wave, fanout, work, batch int, timeout t
 		end := time.Now().Add(wv.dur)
 		for time.Now().Before(end) {
 			<-ticker.C
+			if err := res.abortReason(); err != nil {
+				ticker.Stop()
+				fmt.Fprintf(log, "aborting remaining waves: %v\n", err)
+				break waves
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()

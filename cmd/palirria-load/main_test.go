@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -85,4 +88,109 @@ func TestRunBatchAgainstStub(t *testing.T) {
 		t.Fatalf("batch folding: jobsDone=%d jobsRej=%d over %d replies", res.jobsDone, res.jobsRej, res.ok)
 	}
 	res.print(io.Discard)
+}
+
+// TestRunAbortsOnRefusedConnection is the regression test for the
+// mid-run dead-target case: the run must stop firing immediately, carry
+// a clear abort reason (which main turns into a non-zero exit), and not
+// grind through the remaining waves against a closed port.
+func TestRunAbortsOnRefusedConnection(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // the port now refuses connections
+
+	ws := []wave{
+		{name: "dead", rps: 200, dur: 100 * time.Millisecond},
+		{name: "never", rps: 200, dur: 10 * time.Second},
+	}
+	start := time.Now()
+	res := run(ts.URL, "", ws, 8, 100, 1, 2*time.Second, io.Discard)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("run kept hammering a refused target instead of aborting")
+	}
+	err := res.abortReason()
+	if err == nil {
+		t.Fatal("no abort reason for a refused target")
+	}
+	if !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("abort reason %q does not name the refusal", err)
+	}
+	if res.failed == 0 {
+		t.Fatal("refused requests not counted as failures")
+	}
+}
+
+// A healthy run must not abort: shed replies and job completions are
+// normal outcomes, only transport-level refusals are fatal.
+func TestRunNoAbortOnHealthyTarget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"tenant":"default"}`))
+	}))
+	defer ts.Close()
+	ws := []wave{{name: "t", rps: 100, dur: 50 * time.Millisecond}}
+	res := run(ts.URL, "", ws, 8, 100, 1, 2*time.Second, io.Discard)
+	if err := res.abortReason(); err != nil {
+		t.Fatalf("healthy run aborted: %v", err)
+	}
+}
+
+// TestClusterWatchTable drives the -router watch path against a stub
+// /cluster endpoint and checks the rendered table rows.
+func TestClusterWatchTable(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"self":{"id":"router"},"peers":[
+			{"id":"router","role":"router","state":"alive","self":true},
+			{"id":"n1","role":"serve","state":"alive","desire":2,"allotment":2,"spare":6,"queued":1,"admit_p99_seconds":0.001}
+		]}`))
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lw := lockedWriter{mu: &mu, w: &buf}
+	cw := startClusterWatch(ts.URL, 10*time.Millisecond, lw)
+	time.Sleep(50 * time.Millisecond)
+	if err := cw.stop(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "peer=n1") || !strings.Contains(out, "spare=6") {
+		t.Fatalf("table missing serve row:\n%s", out)
+	}
+	if !strings.Contains(out, "state=alive") || !strings.Contains(out, "p99=1ms") {
+		t.Fatalf("table missing state or p99:\n%s", out)
+	}
+	if !strings.Contains(out, "final peer=") {
+		t.Fatalf("no final table:\n%s", out)
+	}
+}
+
+// TestClusterWatchUnreachable: a router that never serves /cluster makes
+// stop report the failure, so -watch runs cannot silently lose the view.
+func TestClusterWatchUnreachable(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close()
+	cw := startClusterWatch(ts.URL, 10*time.Millisecond, io.Discard)
+	time.Sleep(30 * time.Millisecond)
+	if err := cw.stop(); err == nil {
+		t.Fatal("unreachable cluster view not reported")
+	}
+}
+
+// lockedWriter serialises the watcher goroutine's writes against the
+// test's final read.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

@@ -1,0 +1,159 @@
+// palirria-router fronts a cluster of palirria-serve nodes: it joins the
+// gossip mesh as a router-role member, watches every node's advertised
+// desire/allotment/spare-parallelism record, and steers each POST /submit
+// to the node with the most spare estimated parallelism — the paper's
+// DVS victim ordering lifted to the node level.
+//
+// Routing policy (see docs/CLUSTER.md):
+//
+//   - power-of-two-choices over spare parallelism (allotment − desire),
+//     tie-broken by admission p99 and queue depth;
+//   - dead peers are never picked; shedding/suspect nodes only when no
+//     healthy node has spare capacity;
+//   - per-node circuit breakers with half-open probes;
+//   - bounded retry on a *different* node with doubling backoff (-retries);
+//   - sticky routing: ?sticky=KEY (or, for ?count=N batches, the client
+//     address) pins consecutive submissions to one node while it stays
+//     healthy, so a DAG-free batch prefix keeps its locality.
+//
+// Endpoints:
+//
+//	GET  /healthz    liveness probe
+//	GET  /metrics    Prometheus text format (routed/retried/failover counters)
+//	GET  /cluster    gossip membership view
+//	POST /gossip     anti-entropy exchange
+//	POST /submit?... proxied submission (replies with the node's reply +
+//	                 X-Palirria-Node naming the serving node)
+//
+// Usage:
+//
+//	palirria-router -listen :8070 -cluster-addr http://10.0.0.9:8070 \
+//	    -cluster-join http://10.0.0.5:8077,http://10.0.0.6:8077
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"palirria/internal/cluster"
+	"palirria/internal/cluster/pick"
+	"palirria/internal/obs"
+	"palirria/internal/obs/stream"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.listen, "listen", ":8070", "HTTP listen address")
+	flag.StringVar(&opts.clusterAddr, "cluster-addr", "", "advertised base URL (default http://<listen>)")
+	flag.StringVar(&opts.clusterJoin, "cluster-join", "", "comma-separated seed base URLs of serve nodes (required)")
+	flag.StringVar(&opts.clusterSecret, "cluster-secret", "", "shared HMAC secret signing gossip records (empty: unsigned)")
+	flag.DurationVar(&opts.gossipEvery, "gossip", 500*time.Millisecond, "gossip exchange period")
+	flag.DurationVar(&opts.suspectAfter, "suspect-after", 0, "silence before a peer is suspected (default 4x gossip period)")
+	flag.DurationVar(&opts.deadAfter, "dead-after", 0, "silence before a suspected peer is confirmed dead (default 10x gossip period)")
+	flag.IntVar(&opts.retries, "retries", 2, "additional nodes tried when a submission fails")
+	flag.DurationVar(&opts.timeout, "timeout", 60*time.Second, "per-attempt submission timeout")
+	flag.Parse()
+
+	if opts.clusterJoin == "" {
+		fmt.Fprintln(os.Stderr, "palirria-router: -cluster-join is required")
+		os.Exit(2)
+	}
+	lis, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-router:", err)
+		os.Exit(1)
+	}
+	if opts.clusterAddr == "" {
+		opts.clusterAddr = "http://" + lis.Addr().String()
+	}
+	r, err := newRouter(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "palirria-router:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: r.handler(), ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("palirria-router: listening on %s, joining %s\n", lis.Addr(), opts.clusterJoin)
+	if err := srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "palirria-router:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen        string
+	clusterAddr   string
+	clusterJoin   string
+	clusterSecret string
+	gossipEvery   time.Duration
+	suspectAfter  time.Duration
+	deadAfter     time.Duration
+	retries       int
+	timeout       time.Duration
+}
+
+// router bundles the gossip member, picker, proxy core, and metrics; it
+// is separated from main so tests drive the HTTP surface in-process.
+type router struct {
+	reg  *obs.Registry
+	hub  *stream.Hub
+	node *cluster.Node
+	core *cluster.Router
+}
+
+func newRouter(opts options) (*router, error) {
+	r := &router{reg: obs.NewRegistry(), hub: stream.NewHub()}
+	r.hub.Register(r.reg)
+	var seeds []string
+	for _, s := range strings.Split(opts.clusterJoin, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		Addr:         opts.clusterAddr,
+		Role:         cluster.RoleRouter,
+		Secret:       opts.clusterSecret,
+		Join:         seeds,
+		Interval:     opts.gossipEvery,
+		SuspectAfter: opts.suspectAfter,
+		DeadAfter:    opts.deadAfter,
+		Events:       r.hub,
+		Metrics:      r.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.node = node
+	picker := pick.New(node.Serveable, pick.Options{})
+	core, err := cluster.NewRouter(cluster.RouterConfig{
+		Node:    node,
+		Picker:  picker,
+		Retries: opts.retries,
+		Client:  &http.Client{Timeout: opts.timeout},
+		Events:  r.hub,
+		Metrics: r.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.core = core
+	node.Start()
+	return r, nil
+}
+
+func (r *router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", r.core.Handler()) // /submit, /gossip, /cluster, /healthz
+	mux.Handle("/metrics", r.reg.Handler())
+	return mux
+}
+
+func (r *router) close() {
+	r.node.Stop()
+	r.hub.Close()
+}

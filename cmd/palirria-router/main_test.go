@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"palirria/internal/cluster"
+)
+
+// fakeServeNode is a minimal gossip member with a stub /submit, standing
+// in for a palirria-serve instance.
+func fakeServeNode(t *testing.T, id string) (*cluster.Node, *httptest.Server) {
+	t.Helper()
+	mux := http.NewServeMux()
+	ts := httptest.NewServer(mux)
+	n, err := cluster.NewNode(cluster.Config{
+		ID: id, Addr: ts.URL, Role: cluster.RoleServe,
+		Snapshot: func() cluster.Record { return cluster.Record{Spare: 3} },
+		Interval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		ts.Close()
+		t.Fatal(err)
+	}
+	mux.HandleFunc("/gossip", n.GossipHandler())
+	mux.HandleFunc("/cluster", n.ClusterHandler())
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"tenant":"default"}`)
+	})
+	n.Start()
+	t.Cleanup(func() { n.Stop(); ts.Close() })
+	return n, ts
+}
+
+func TestRouterEndToEnd(t *testing.T) {
+	_, backend := fakeServeNode(t, "n1")
+
+	r, err := newRouter(options{
+		clusterAddr: "http://router.test",
+		clusterJoin: backend.URL + " , ", // trailing separators are cleaned
+		gossipEvery: 20 * time.Millisecond,
+		retries:     2,
+		timeout:     5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	front := httptest.NewServer(r.handler())
+	defer front.Close()
+
+	// Membership converges, then a submission proxies through.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(r.node.Serveable()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("router never discovered the serve node")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(front.URL+"/submit?fanout=4", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Palirria-Node"); got != "n1" {
+		t.Fatalf("X-Palirria-Node = %q", got)
+	}
+	if !strings.Contains(string(body), `"tenant"`) {
+		t.Fatalf("body = %s", body)
+	}
+
+	// The membership view and metrics render.
+	resp, err = http.Get(front.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cluster.DecodeView(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Peers) != 2 { // router + serve node
+		t.Fatalf("view peers = %+v", v.Peers)
+	}
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"palirria_router_routed_total", "palirria_cluster_rounds_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}

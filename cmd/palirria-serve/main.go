@@ -13,10 +13,20 @@
 //	GET  /healthz                             liveness probe
 //	GET  /metrics                             Prometheus text format
 //	GET  /status                              pool stats + tenancy snapshot
+//	GET  /cluster                             gossip membership view (cluster mode)
+//	POST /gossip                              anti-entropy exchange (cluster mode)
 //	GET  /events?kind=&job=&tenant=           live SSE event stream
 //	POST /submit?tenant=&fanout=&work=        run one job, reply when done
 //	POST /submit?count=N&...                  run N jobs via batch admission
 //	POST /drain                               drain all pools, then exit 0
+//
+// With -cluster-addr the daemon joins a gossip cluster: it periodically
+// exchanges a signed state record (desire, allotment, spare parallelism,
+// queue depth, admit p99, shed state) with its peers, publishes
+// peer-up/peer-suspect/peer-dead lifecycle events on the stream hub, and
+// serves the merged membership view at /cluster. A palirria-router in
+// front of the cluster steers submissions toward the node advertising the
+// most spare parallelism; see docs/CLUSTER.md.
 //
 // /events streams job lifecycle, estimator quantum, and scheduler events
 // as Server-Sent Events; kind takes a comma-separated list of event
@@ -54,6 +64,7 @@ import (
 	"sync"
 	"time"
 
+	"palirria/internal/cluster"
 	"palirria/internal/obs"
 	"palirria/internal/obs/stream"
 	"palirria/internal/serve"
@@ -75,6 +86,12 @@ func main() {
 	flag.DurationVar(&opts.sinkFlush, "sink-flush", time.Second, "sink spooler flush interval")
 	flag.IntVar(&opts.eventBuf, "event-buffer", 1024, "per-subscriber /events buffer (events beyond it are dropped and counted)")
 	flag.DurationVar(&opts.heartbeat, "heartbeat", 10*time.Second, "/events comment-heartbeat period")
+	flag.StringVar(&opts.clusterAddr, "cluster-addr", "", "advertised base URL (e.g. http://10.0.0.5:8077); enables cluster gossip")
+	flag.StringVar(&opts.clusterJoin, "cluster-join", "", "comma-separated seed base URLs of existing cluster members")
+	flag.StringVar(&opts.clusterSecret, "cluster-secret", "", "shared HMAC secret signing gossip records (empty: unsigned)")
+	flag.DurationVar(&opts.gossipEvery, "gossip", 500*time.Millisecond, "gossip exchange period (cluster mode)")
+	flag.DurationVar(&opts.suspectAfter, "suspect-after", 0, "silence before a peer is suspected (default 4x gossip period)")
+	flag.DurationVar(&opts.deadAfter, "dead-after", 0, "silence before a suspected peer is confirmed dead (default 10x gossip period)")
 	flag.Parse()
 
 	s, err := newServer(opts)
@@ -113,6 +130,13 @@ type options struct {
 	sinkFlush   time.Duration
 	eventBuf    int
 	heartbeat   time.Duration
+
+	clusterAddr   string
+	clusterJoin   string
+	clusterSecret string
+	gossipEvery   time.Duration
+	suspectAfter  time.Duration
+	deadAfter     time.Duration
 }
 
 // server owns the pools, the optional tenancy, and the shared metrics
@@ -130,8 +154,32 @@ type server struct {
 	spool     *stream.Spooler // nil without -sink
 	sinkClose func() error    // releases the sink's file, if any
 
+	node *cluster.Node // nil outside cluster mode
+
 	drainOnce sync.Once
 	drained   chan struct{}
+}
+
+// clusterRecord aggregates every pool's Snapshot into the node's gossiped
+// load signal: desire, allotment, spare, and queue depth sum across
+// tenants; the shed flag is any pool's latch; admit p99 is the worst
+// pool's. Built on the same Snapshot the /status endpoint renders, so the
+// two surfaces can never disagree.
+func (s *server) clusterRecord() cluster.Record {
+	var rec cluster.Record
+	for _, name := range s.names {
+		snap := s.pools[name].Snapshot()
+		rec.Desire += snap.Desire
+		rec.Allotment += snap.Allotment
+		rec.Spare += snap.Spare
+		rec.Queued += snap.InFlight
+		rec.QueueCap += snap.QueueCap
+		rec.Shed = rec.Shed || snap.Shedding
+		if snap.AdmitP99 > rec.AdmitP99 {
+			rec.AdmitP99 = snap.AdmitP99
+		}
+	}
+	return rec
 }
 
 func newServer(opts options) (*server, error) {
@@ -214,6 +262,26 @@ func newServer(opts options) (*server, error) {
 		}
 		s.ten.Start()
 	}
+	if opts.clusterAddr != "" {
+		node, err := cluster.NewNode(cluster.Config{
+			Addr:         opts.clusterAddr,
+			Role:         cluster.RoleServe,
+			Secret:       opts.clusterSecret,
+			Snapshot:     s.clusterRecord,
+			Join:         splitTenants(opts.clusterJoin),
+			Interval:     opts.gossipEvery,
+			SuspectAfter: opts.suspectAfter,
+			DeadAfter:    opts.deadAfter,
+			Events:       s.hub,
+			Metrics:      s.reg,
+		})
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		s.node = node
+		node.Start()
+	}
 	return s, nil
 }
 
@@ -227,6 +295,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/drain", s.handleDrain)
+	if s.node != nil {
+		mux.HandleFunc("/gossip", s.node.GossipHandler())
+		mux.HandleFunc("/cluster", s.node.ClusterHandler())
+	} else {
+		mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "cluster mode disabled (start with -cluster-addr)",
+				http.StatusServiceUnavailable)
+		})
+	}
 	return mux
 }
 
@@ -406,9 +483,11 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// statusReply is the /status response body.
+// statusReply is the /status response body. Pools carries the same
+// serve.Snapshot records the cluster layer gossips, so /status and
+// /cluster can never disagree about a pool's load.
 type statusReply struct {
-	Pools     []serve.Stats        `json:"pools"`
+	Pools     []serve.Snapshot     `json:"pools"`
 	Tenants   []serve.TenantStatus `json:"tenants,omitempty"`
 	FreeCores int                  `json:"free_cores,omitempty"`
 }
@@ -416,7 +495,7 @@ type statusReply struct {
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	var rep statusReply
 	for _, name := range s.names {
-		rep.Pools = append(rep.Pools, s.pools[name].Stats())
+		rep.Pools = append(rep.Pools, s.pools[name].Snapshot())
 	}
 	if s.ten != nil {
 		rep.Tenants = s.ten.Snapshot()
@@ -451,7 +530,7 @@ func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	}
 	var rep statusReply
 	for _, name := range s.names {
-		rep.Pools = append(rep.Pools, s.pools[name].Stats())
+		rep.Pools = append(rep.Pools, s.pools[name].Snapshot())
 	}
 	writeJSON(w, http.StatusOK, rep)
 	s.drainOnce.Do(func() { close(s.drained) })
@@ -461,6 +540,9 @@ func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
 // drained with a short grace period. The hub closes last so the drains'
 // terminal events still reach the sink before its final flush.
 func (s *server) close() {
+	if s.node != nil {
+		s.node.Stop()
+	}
 	if s.ten != nil {
 		s.ten.Close()
 	}

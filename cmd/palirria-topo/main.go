@@ -1,5 +1,6 @@
 // palirria-topo visualizes mesh topologies, allotments and their DVS
-// classification (the paper's Figs. 1, 2 and 9).
+// classification (the paper's Figs. 1, 2 and 9), and — with -cluster —
+// the live gossip view of a running Palirria cluster.
 //
 // Usage:
 //
@@ -8,15 +9,21 @@
 //	palirria-topo -fig 9              # the evaluation allotments
 //	palirria-topo -dims 8x6 -source 28 -d 3   # custom classification
 //	palirria-topo -dims 8x6 -source 28 -series # allotment size series
+//	palirria-topo -cluster http://localhost:8070  # gossip membership table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 
+	"palirria/internal/cluster"
 	"palirria/internal/experiments"
 	"palirria/internal/plot"
 	"palirria/internal/topo"
@@ -29,12 +36,54 @@ func main() {
 	d := flag.Int("d", 2, "diaspora")
 	reserved := flag.String("reserved", "0,1", "comma-separated reserved cores")
 	series := flag.Bool("series", false, "print the allotment size series instead")
+	clusterURL := flag.String("cluster", "", "base URL of a cluster member (node or router); print its gossip view table")
 	flag.Parse()
 
+	if *clusterURL != "" {
+		if err := runCluster(*clusterURL, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "palirria-topo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, *dims, *source, *d, *reserved, *series); err != nil {
 		fmt.Fprintln(os.Stderr, "palirria-topo:", err)
 		os.Exit(1)
 	}
+}
+
+// runCluster fetches one member's /cluster document and renders the
+// membership as a table: every peer with its gossiped state and load
+// signal, the node's own row marked with '*'.
+func runCluster(base string, w io.Writer) error {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/cluster")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /cluster: status %d", resp.StatusCode)
+	}
+	v, err := cluster.DecodeView(resp.Body)
+	if err != nil {
+		return fmt.Errorf("decode /cluster: %w", err)
+	}
+	fmt.Fprintf(w, "cluster view from %s (%d members, %d gossip rounds)\n",
+		v.Self.ID, len(v.Peers), v.Rounds)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PEER\tROLE\tSTATE\tD\tA\tSPARE\tQUEUED\tSHED\tP99\tSILENT")
+	for _, p := range v.Peers {
+		name := p.ID
+		if p.Self {
+			name += " *"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%v\t%s\t%s\n",
+			name, p.Role, p.State, p.Desire, p.Allotment, p.Spare,
+			p.Queued, p.Shed,
+			time.Duration(p.AdmitP99*float64(time.Second)).Round(time.Microsecond),
+			(time.Duration(p.SilentMS) * time.Millisecond).Round(time.Millisecond))
+	}
+	return tw.Flush()
 }
 
 func run(fig int, dims string, source, d int, reserved string, series bool) error {

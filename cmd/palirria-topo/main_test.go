@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
 
 func TestRunFigures(t *testing.T) {
 	for _, fig := range []int{1, 2, 3, 9} {
@@ -37,5 +44,47 @@ func TestRunBadInput(t *testing.T) {
 	}
 	if err := run(0, "8x4", 99, 1, "", false); err == nil {
 		t.Fatal("invalid source must fail")
+	}
+}
+
+// TestRunCluster renders a gossip view table from a stub /cluster
+// endpoint: every peer row present, the self row starred.
+func TestRunCluster(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"self":{"id":"router"},"rounds":17,"peers":[
+			{"id":"router","role":"router","state":"alive","self":true},
+			{"id":"n1","role":"serve","state":"alive","desire":2,"allotment":2,"spare":6,"queued":3,"admit_p99_seconds":0.002},
+			{"id":"n2","role":"serve","state":"suspect","silent_ms":450}
+		]}`))
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := runCluster(ts.URL, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"3 members", "17 gossip rounds", "router *", "n1", "suspect", "2ms", "450ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunClusterUnreachable(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	if err := runCluster(ts.URL, io.Discard); err == nil {
+		t.Fatal("404 /cluster must fail")
+	}
+	ts.Close()
+	if err := runCluster(ts.URL, io.Discard); err == nil {
+		t.Fatal("refused connection must fail")
 	}
 }

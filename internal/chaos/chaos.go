@@ -44,6 +44,7 @@ const (
 	LayerRuntime = "runtime" // wsrt.Runtime via Submit/SetMaxWorkers/Shutdown
 	LayerPool    = "pool"    // serve.Pool via Submit/SetMaxWorkers/Drain
 	LayerTenancy = "tenancy" // two serve.Pools under a serve.Tenancy
+	LayerCluster = "cluster" // a gossip router over N serve.Pools on loopback HTTP
 )
 
 // JobSpec is one planned job: a binary fan of Leaves leaf tasks, each
@@ -109,6 +110,19 @@ type Script struct {
 	StreamSubs    int   `json:"stream_subs,omitempty"`
 	StreamBuf     int   `json:"stream_buf,omitempty"`
 	StreamChurnUS int64 `json:"stream_churn_us,omitempty"`
+	// Cluster knobs (cluster layer): a palirria-router core fronting
+	// ClusterNodes serve pools over real loopback HTTP, all gossiping at
+	// GossipEveryUS with the given suspicion timeouts. KillNode is cut
+	// abruptly (listener and live connections dropped, then drained) at
+	// KillAtUS into the storm; the router must fail the traffic over and,
+	// once its gossip confirms the death, never route there again.
+	ClusterNodes   int   `json:"cluster_nodes,omitempty"`
+	GossipEveryUS  int64 `json:"gossip_every_us,omitempty"`
+	SuspectAfterUS int64 `json:"suspect_after_us,omitempty"`
+	DeadAfterUS    int64 `json:"dead_after_us,omitempty"`
+	KillNode       int   `json:"kill_node,omitempty"`
+	KillAtUS       int64 `json:"kill_at_us,omitempty"`
+	RouterRetries  int   `json:"router_retries,omitempty"`
 }
 
 // Marshal renders the script as its canonical replay bytes.
@@ -182,6 +196,8 @@ func Run(sc *Script, timeout time.Duration) *Result {
 			runPool(sc, res)
 		case LayerTenancy:
 			runTenancy(sc, res)
+		case LayerCluster:
+			runCluster(sc, res)
 		default:
 			res.fail("unknown layer %q", sc.Layer)
 		}

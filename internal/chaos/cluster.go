@@ -1,0 +1,385 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"palirria/internal/cluster"
+	"palirria/internal/cluster/pick"
+	"palirria/internal/obs/stream"
+	"palirria/internal/serve"
+	"palirria/internal/topo"
+	"palirria/internal/wsrt"
+)
+
+// chaosNode is one cluster member under test: a resident pool with its
+// event hub, its gossip member, and its HTTP server on a real loopback
+// listener (the router reaches it through the kernel, not a bench stub,
+// so a kill produces genuine transport errors).
+type chaosNode struct {
+	id   string
+	pool *serve.Pool
+	hub  *stream.Hub
+	node *cluster.Node
+	srv  *http.Server
+	addr string
+
+	terminal int64 // completed+cancelled events seen by the durable sub
+	durable  *stream.Sub
+	durDone  chan struct{}
+	killOnce sync.Once
+}
+
+// newChaosNode builds and starts one serve node.
+func newChaosNode(sc *Script, idx int) (*chaosNode, error) {
+	id := fmt.Sprintf("node-%d", idx)
+	hub := stream.NewHub()
+	pool, err := serve.New(serve.Config{
+		Name: id,
+		Runtime: wsrt.Config{
+			Mesh:           topo.MustMesh(sc.MeshW, sc.MeshH),
+			Quantum:        time.Duration(sc.QuantumUS) * time.Microsecond,
+			SubmitQueueCap: sc.SubmitQueueCap,
+		},
+		QueueCap: sc.PoolQueueCap,
+		Events:   hub,
+	})
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	n := &chaosNode{id: id, pool: pool, hub: hub, addr: "http://" + lis.Addr().String()}
+
+	// The durable subscriber audits exactly-once terminal events: after
+	// the drain, seen + dropped must equal the pool's admissions.
+	n.durable = hub.Subscribe(stream.SubOptions{
+		Buf:   1024,
+		Kinds: []stream.Kind{stream.KindCompleted, stream.KindCancelled},
+	})
+	n.durDone = make(chan struct{})
+	go func() {
+		defer close(n.durDone)
+		for range n.durable.Events() {
+			atomic.AddInt64(&n.terminal, 1)
+		}
+	}()
+
+	gn, err := cluster.NewNode(cluster.Config{
+		ID:   id,
+		Addr: n.addr,
+		Role: cluster.RoleServe,
+		Snapshot: func() cluster.Record {
+			s := pool.Snapshot()
+			return cluster.Record{
+				Desire: s.Desire, Allotment: s.Allotment, Spare: s.Spare,
+				Queued: s.InFlight, QueueCap: s.QueueCap,
+				Shed: s.Shedding, AdmitP99: s.AdmitP99,
+			}
+		},
+		Interval:     time.Duration(sc.GossipEveryUS) * time.Microsecond,
+		SuspectAfter: time.Duration(sc.SuspectAfterUS) * time.Microsecond,
+		DeadAfter:    time.Duration(sc.DeadAfterUS) * time.Microsecond,
+		Events:       hub,
+	})
+	if err != nil {
+		hub.Close()
+		lis.Close()
+		return nil, err
+	}
+	n.node = gn
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/gossip", gn.GossipHandler())
+	mux.HandleFunc("/cluster", gn.ClusterHandler())
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		leaves, _ := strconv.Atoi(r.URL.Query().Get("leaves"))
+		compute, _ := strconv.ParseInt(r.URL.Query().Get("compute"), 10, 64)
+		if leaves < 1 {
+			leaves = 1
+		}
+		var runs atomic.Int64
+		err := pool.Submit(r.Context(), func(c *wsrt.Ctx) {
+			fanLeaves(c, leaves, compute, &runs)
+		})
+		switch {
+		case err == nil:
+			fmt.Fprintf(w, `{"node":%q,"leaves":%d}`, id, runs.Load())
+		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		default:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	})
+	n.srv = &http.Server{Handler: mux}
+	go n.srv.Serve(lis) //nolint:errcheck // returns ErrServerClosed on Close
+	gn.Start()
+	return n, nil
+}
+
+// kill cuts the node abruptly: live connections drop mid-flight, gossip
+// stops, and the pool drains so its ledger settles. Idempotent.
+func (n *chaosNode) kill(res *Result) {
+	n.killOnce.Do(func() {
+		n.node.Stop()
+		n.srv.Close() //nolint:errcheck // closing listeners and live conns
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := n.pool.Drain(ctx); err != nil && !errors.Is(err, serve.ErrDraining) {
+			res.fail("%s drain: %v", n.id, err)
+		}
+	})
+}
+
+// settle finishes the node's stream audit after its drain.
+func (n *chaosNode) settle(res *Result) {
+	n.durable.Close()
+	<-n.durDone
+	n.hub.Close()
+	st := n.pool.Stats()
+	if st.Admitted != st.Completed+st.Cancelled {
+		res.fail("%s ledger: admitted %d != completed %d + cancelled %d",
+			n.id, st.Admitted, st.Completed, st.Cancelled)
+	}
+	if st.InFlight != 0 {
+		res.fail("%s: %d jobs in flight after drain", n.id, st.InFlight)
+	}
+	if got := atomic.LoadInt64(&n.terminal) + int64(n.durable.Dropped()); got != st.Admitted {
+		res.fail("%s stream: %d terminal event(s) + dropped != %d admitted — terminal events not exactly-once",
+			n.id, got, st.Admitted)
+	}
+}
+
+// runCluster drives the full distributed stack: a router core over
+// ClusterNodes loopback serve nodes, a submit storm through the router,
+// and an abrupt node kill mid-storm. Invariants on top of the per-pool
+// ledgers: every submission the router accepted (200) completed on some
+// node (zero accepted-job loss), terminal events are exactly-once per
+// pool, and once the router's gossip confirms the kill no further
+// submission is routed to the dead peer.
+func runCluster(sc *Script, res *Result) {
+	nodes := make([]*chaosNode, 0, sc.ClusterNodes)
+	for i := 0; i < sc.ClusterNodes; i++ {
+		n, err := newChaosNode(sc, i)
+		if err != nil {
+			res.fail("build %s: %v", fmt.Sprintf("node-%d", i), err)
+			return
+		}
+		nodes = append(nodes, n)
+	}
+	seeds := make([]string, len(nodes))
+	for i, n := range nodes {
+		seeds[i] = n.addr
+	}
+
+	// The router is a gossip member too; its hub carries the lifecycle
+	// the dead-peer check audits, through a durable subscriber whose
+	// buffer is sized to the whole storm (a drop would blind the audit).
+	rhub := stream.NewHub()
+	rsub := rhub.Subscribe(stream.SubOptions{
+		Buf: 2*len(sc.Jobs) + 256,
+		Kinds: []stream.Kind{
+			stream.KindRouted, stream.KindFailover,
+			stream.KindPeerUp, stream.KindPeerSuspect, stream.KindPeerDead,
+		},
+	})
+	var events []stream.Event
+	evDone := make(chan struct{})
+	go func() {
+		defer close(evDone)
+		for ev := range rsub.Events() {
+			events = append(events, ev)
+		}
+	}()
+
+	rlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		res.fail("router listen: %v", err)
+		return
+	}
+	rnode, err := cluster.NewNode(cluster.Config{
+		ID:           "router",
+		Addr:         "http://" + rlis.Addr().String(),
+		Role:         cluster.RoleRouter,
+		Join:         seeds,
+		Interval:     time.Duration(sc.GossipEveryUS) * time.Microsecond,
+		SuspectAfter: time.Duration(sc.SuspectAfterUS) * time.Microsecond,
+		DeadAfter:    time.Duration(sc.DeadAfterUS) * time.Microsecond,
+		Events:       rhub,
+	})
+	if err != nil {
+		res.fail("router node: %v", err)
+		return
+	}
+	core, err := cluster.NewRouter(cluster.RouterConfig{
+		Node:    rnode,
+		Picker:  pick.New(rnode.Serveable, pick.Options{BreakFor: 50 * time.Millisecond}),
+		Retries: sc.RouterRetries,
+		Backoff: time.Millisecond,
+		Client:  &http.Client{Timeout: 30 * time.Second},
+		Events:  rhub,
+	})
+	if err != nil {
+		res.fail("router core: %v", err)
+		return
+	}
+	rsrv := &http.Server{Handler: core.Handler()}
+	go rsrv.Serve(rlis) //nolint:errcheck // returns ErrServerClosed on Close
+	rnode.Start()
+	routerURL := "http://" + rlis.Addr().String()
+
+	// Wait for membership to converge before the storm; a router that
+	// cannot see the cluster would fail everything vacuously.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(rnode.Serveable()) < len(nodes) {
+		if time.Now().After(deadline) {
+			res.fail("router saw only %d of %d nodes", len(rnode.Serveable()), len(nodes))
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	victim := nodes[sc.KillNode%len(nodes)]
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(spec JobSpec) (int, error) {
+		url := fmt.Sprintf("%s/submit?leaves=%d&compute=%d", routerURL, spec.Leaves, spec.ComputeNS)
+		resp, err := client.Post(url, "", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, err
+	}
+
+	var attempted, accepted, rejected, failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < sc.Submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := g; j < len(sc.Jobs); j += sc.Submitters {
+				spec := sc.Jobs[j]
+				sleepUS(spec.DelayUS)
+				attempted.Add(1)
+				status, err := post(spec)
+				switch {
+				case err != nil:
+					// The router itself is never killed; a transport error
+					// to it is a harness failure, not chaos.
+					failed.Add(1)
+					res.fail("job %d: router unreachable: %v", j, err)
+				case status == http.StatusOK:
+					accepted.Add(1)
+				default:
+					rejected.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// The abrupt kill, mid-storm.
+	if d := time.Duration(sc.KillAtUS)*time.Microsecond - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+	victim.kill(res)
+	wg.Wait()
+
+	// Make the dead-peer check non-vacuous: wait for the router's gossip
+	// to confirm the death, then push a probe burst that must all land on
+	// survivors.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		// A reaped peer (state "") was necessarily dead first; with the
+		// scenario's microsecond timers the reap can land before we look.
+		if st := rnode.PeerState(victim.id); st == cluster.StateDead || st == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			res.fail("router never confirmed %s dead (state %q)", victim.id, rnode.PeerState(victim.id))
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		attempted.Add(1)
+		status, err := post(JobSpec{Leaves: 2, ComputeNS: 1000})
+		if err != nil {
+			failed.Add(1)
+			res.fail("probe %d: router unreachable: %v", i, err)
+		} else if status == http.StatusOK {
+			accepted.Add(1)
+		} else {
+			rejected.Add(1)
+		}
+	}
+
+	// Tear down: drain survivors, stop the router, settle the audits.
+	for _, n := range nodes {
+		n.kill(res)
+	}
+	rnode.Stop()
+	rsrv.Close() //nolint:errcheck
+	rhub.Close()
+	<-evDone
+	if d := rsub.Dropped(); d > 0 {
+		res.fail("router event audit dropped %d event(s); buffer too small to audit ordering", d)
+	}
+
+	// Dead-peer ordering: once the router published peer-dead for the
+	// victim, no later routed event may name it.
+	deadSeen := false
+	for _, ev := range events {
+		switch ev.Kind {
+		case stream.KindPeerDead:
+			if ev.Node == victim.id {
+				deadSeen = true
+			}
+		case stream.KindRouted:
+			if deadSeen && ev.Node == victim.id {
+				res.fail("submission routed to %s after its death was confirmed", victim.id)
+			}
+		}
+	}
+	if !deadSeen {
+		res.fail("router hub carries no peer-dead event for %s", victim.id)
+	}
+
+	// Cluster-wide conservation and zero accepted-job loss.
+	var admitted, completed, cancelled int64
+	for _, n := range nodes {
+		n.settle(res)
+		st := n.pool.Stats()
+		admitted += st.Admitted
+		completed += st.Completed
+		cancelled += st.Cancelled
+	}
+	if admitted != completed+cancelled {
+		res.fail("cluster ledger: admitted %d != completed %d + cancelled %d", admitted, completed, cancelled)
+	}
+	// Submissions run synchronously on the node, so every accepted (200)
+	// reply rode a completed job; retries can complete a job whose reply
+	// was lost in the kill, hence >=.
+	if completed < accepted.Load() {
+		res.fail("zero-loss: %d accepted submissions but only %d completions", accepted.Load(), completed)
+	}
+	if core.FailedOver() == 0 {
+		res.fail("the kill triggered no failover")
+	}
+	res.Attempted = attempted.Load()
+	res.Accepted = accepted.Load()
+	res.Rejected = rejected.Load() + failed.Load()
+	res.Completed = completed
+	res.Discarded = cancelled
+}

@@ -312,6 +312,37 @@ var scenarios = []Scenario{
 		},
 	},
 	{
+		Name: "cluster-partition",
+		Description: "a desire-steered router storms three loopback serve " +
+			"nodes while one is killed abruptly mid-burst; accepted jobs must " +
+			"all complete on survivors, terminal events stay exactly-once per " +
+			"pool, and no submission is routed to the dead peer once gossip " +
+			"suspicion confirms the death",
+		plan: func(sc *Script, rng *xrand.Xoshiro256) {
+			sc.Layer = LayerCluster
+			sc.MeshW, sc.MeshH = 4, 1
+			sc.QuantumUS = 500
+			sc.SubmitQueueCap = 128
+			sc.PoolQueueCap = 64
+			sc.Submitters = 4
+			sc.ClusterNodes = 3
+			sc.RouterRetries = 2
+			sc.GossipEveryUS = int64(4000 + rng.Intn(3001))
+			sc.SuspectAfterUS = 4 * sc.GossipEveryUS
+			sc.DeadAfterUS = 2 * sc.SuspectAfterUS
+			sc.KillNode = rng.Intn(3)
+			sc.KillAtUS = int64(30000 + rng.Intn(20001))
+			n := 550 + rng.Intn(101)
+			for i := 0; i < n; i++ {
+				sc.Jobs = append(sc.Jobs, JobSpec{
+					Leaves:    2 + rng.Intn(7),
+					ComputeNS: int64(1000 + rng.Intn(4000)),
+					DelayUS:   int64(500 + rng.Intn(1201)),
+				})
+			}
+		},
+	},
+	{
 		Name: "tenancy-churn",
 		Description: "two pools under one arbiter with fast re-arbitration; " +
 			"one tenant drains mid-storm, the survivor keeps serving, and " +

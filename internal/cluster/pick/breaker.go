@@ -1,0 +1,43 @@
+package pick
+
+import "time"
+
+// breaker is a minimal per-node circuit breaker. Closed: attempts flow
+// and consecutive failures count. Open: attempts are blocked until
+// openUntil. Half-open: the first allow() after the cooldown lets one
+// probe through and re-arms the cooldown, so a still-dark node is retried
+// once per BreakFor instead of hammered. Guarded by Picker.mu.
+type breaker struct {
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// allow reports whether an attempt may go out at now, consuming the
+// half-open probe slot when the cooldown has expired.
+func (b *breaker) allow(now time.Time) bool {
+	if b.openUntil.IsZero() || now.After(b.openUntil) {
+		if !b.openUntil.IsZero() && !b.probing {
+			b.probing = true // the one half-open probe
+		}
+		return true
+	}
+	return false
+}
+
+// fail counts one failure and opens the breaker at the threshold (or
+// immediately re-opens after a failed half-open probe).
+func (b *breaker) fail(after int, cooldown time.Duration, now time.Time) {
+	b.fails++
+	if b.probing || b.fails >= after {
+		b.openUntil = now.Add(cooldown)
+		b.probing = false
+	}
+}
+
+// succeed closes the breaker entirely.
+func (b *breaker) succeed() {
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}

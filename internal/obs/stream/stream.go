@@ -48,19 +48,39 @@ const (
 	// KindSched: a scheduler event pumped from the per-worker obs rings
 	// (Detail names the obs kind: grant, retire, park, ...).
 	KindSched
+	// KindPeerUp: a cluster peer was first seen, or recovered from
+	// suspicion (Node is the peer id).
+	KindPeerUp
+	// KindPeerSuspect: a peer missed heartbeats long enough to be
+	// suspected (Node is the peer id, Arg the silent nanoseconds).
+	KindPeerSuspect
+	// KindPeerDead: a suspected peer was confirmed dead (Node is the peer
+	// id, Arg the silent nanoseconds).
+	KindPeerDead
+	// KindRouted: the router steered a submission to Node (Arg is the
+	// batch size, Detail the sticky key when one applied).
+	KindRouted
+	// KindFailover: an attempt against Node failed and the submission was
+	// re-routed to Target (Reason carries the failure cause).
+	KindFailover
 
 	// NumKinds is the number of stream event kinds.
 	NumKinds
 )
 
 var kindNames = [NumKinds]string{
-	KindAdmitted:  "admitted",
-	KindStarted:   "started",
-	KindCompleted: "completed",
-	KindCancelled: "cancelled",
-	KindShed:      "shed",
-	KindQuantum:   "quantum",
-	KindSched:     "sched",
+	KindAdmitted:    "admitted",
+	KindStarted:     "started",
+	KindCompleted:   "completed",
+	KindCancelled:   "cancelled",
+	KindShed:        "shed",
+	KindQuantum:     "quantum",
+	KindSched:       "sched",
+	KindPeerUp:      "peer-up",
+	KindPeerSuspect: "peer-suspect",
+	KindPeerDead:    "peer-dead",
+	KindRouted:      "routed",
+	KindFailover:    "failover",
 }
 
 // String names the kind (also the SSE event name on the wire).
@@ -121,8 +141,14 @@ type Event struct {
 	// Arg carries the obs event payload on KindSched (granted size for
 	// grant, parked nanoseconds for park, ...).
 	Arg int64 `json:"arg,omitempty"`
-	// Detail names the underlying obs kind on KindSched events.
+	// Detail names the underlying obs kind on KindSched events (and the
+	// sticky key, when one applied, on KindRouted).
 	Detail string `json:"detail,omitempty"`
+	// Node identifies the cluster peer on peer-up/peer-suspect/peer-dead
+	// events, and the chosen (or failed) node on routed/failover events.
+	Node string `json:"node,omitempty"`
+	// Target is the node a failover re-routed to.
+	Target string `json:"target,omitempty"`
 	// Estimator payload on KindQuantum: desire before and after the
 	// false-positive filter, the actual grant, and the grantable maximum.
 	Raw      int `json:"raw,omitempty"`

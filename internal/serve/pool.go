@@ -577,6 +577,31 @@ func (p *Pool) Stats() Stats {
 	}
 }
 
+// Snapshot extends Stats with the derived spare-parallelism signal. It is
+// the single record the serving surfaces share: /status, /cluster, and the
+// gossip layer all render the same Snapshot, so they can never disagree
+// about a pool's load.
+type Snapshot struct {
+	Stats
+	// Spare is the pool's spare estimated parallelism: the maximum
+	// grantable allotment (mesh capacity) minus the filtered desire of the
+	// last quantum. The granted allotment tracks desire in steady state,
+	// so capacity — the bound the allotment grows toward — is the A term
+	// that makes A−D a live headroom signal: positive means the estimator
+	// wants fewer workers than the pool could still grant, zero means
+	// desire is pinned at the grantable maximum (the same condition the
+	// shed latch watches). This is the load signal cluster routing steers
+	// on (DVS victim ordering lifted to nodes).
+	Spare int `json:"spare"`
+}
+
+// Snapshot samples the pool once and derives the spare signal from that
+// single Stats read, so the two can never be torn against each other.
+func (p *Pool) Snapshot() Snapshot {
+	st := p.Stats()
+	return Snapshot{Stats: st, Spare: st.Capacity - st.Desire}
+}
+
 // registerMetrics exposes the pool's serving counters on reg, labelled by
 // pool name. The runtime's own worker metrics register separately via
 // Config.Runtime.Metrics.
