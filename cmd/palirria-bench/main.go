@@ -40,6 +40,7 @@ func main() {
 	wsrtB := flag.Bool("wsrt", false, "measure the real runtime's idle-path benchmarks (submit latency, steal throughput, idle burn) and exit")
 	benchOut := flag.String("bench-out", "BENCH_wsrt.json", "output path for the -wsrt JSON report")
 	benchBase := flag.String("bench-baseline", "", "committed BENCH_wsrt.json to gate -wsrt against; fails on a >2x submit-throughput regression")
+	benchCount := flag.Int("bench-count", 1, "repetitions per submit-throughput tier; the median repetition is reported and gated")
 	chaosB := flag.Bool("chaos", false, "run the seeded reconfiguration chaos suite and exit (non-zero on any invariant violation)")
 	chaosScenario := flag.String("chaos-scenario", "", "restrict -chaos to one scenario by name")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "first seed for -chaos; a failing (scenario, seed) pair replays byte-identically")
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 	if *wsrtB {
-		if err := wsrtBench(*benchOut, *benchBase); err != nil {
+		if err := wsrtBench(*benchOut, *benchBase, *benchCount); err != nil {
 			fmt.Fprintln(os.Stderr, "palirria-bench:", err)
 			os.Exit(1)
 		}

@@ -53,14 +53,21 @@ type wsrtBenchReport struct {
 }
 
 // submitThroughputTier is one producer-count point on the scaling curve.
-// Latencies are submit-return to job-body-start, in nanoseconds.
+// Latencies are submit-return to job-body-start, in nanoseconds, taken
+// from a 1-in-8 sample of the jobs (timing every job costs two clock
+// reads plus a closure allocation per job and makes the tier measure the
+// harness instead of the runtime). When the tier ran more than once
+// (-bench-count), the reported numbers are the median repetition by
+// jobs/sec and SamplesJobsPerSec lists every repetition.
 type submitThroughputTier struct {
-	Producers  int     `json:"producers"`
-	Jobs       int     `json:"jobs"`
-	WallNS     int64   `json:"wall_ns"`
-	JobsPerSec float64 `json:"jobs_per_sec"`
-	P50NS      int64   `json:"p50_ns"`
-	P99NS      int64   `json:"p99_ns"`
+	Producers         int       `json:"producers"`
+	Jobs              int       `json:"jobs"`
+	WallNS            int64     `json:"wall_ns"`
+	JobsPerSec        float64   `json:"jobs_per_sec"`
+	P50NS             int64     `json:"p50_ns"`
+	P99NS             int64     `json:"p99_ns"`
+	LatSamples        int       `json:"lat_samples,omitempty"`
+	SamplesJobsPerSec []float64 `json:"samples_jobs_per_sec,omitempty"`
 }
 
 // wsrtBench measures the real runtime's idle-path metrics and writes them
@@ -69,7 +76,9 @@ type submitThroughputTier struct {
 // it: a tier running at less than half the baseline's jobs/sec fails the
 // run. The factor-of-two slack absorbs shared-runner noise while still
 // catching a serialized submit path (which collapses by far more).
-func wsrtBench(path, baseline string) error {
+// count repeats each throughput tier and reports the median repetition,
+// so the gate compares medians, not single lucky or unlucky runs.
+func wsrtBench(path, baseline string, count int) error {
 	var rep wsrtBenchReport
 	if err := benchSubmitToStart(&rep); err != nil {
 		return err
@@ -80,7 +89,7 @@ func wsrtBench(path, baseline string) error {
 	if err := benchIdleBurn(&rep); err != nil {
 		return err
 	}
-	if err := benchSubmitThroughput(&rep); err != nil {
+	if err := benchSubmitThroughput(&rep, count); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -207,17 +216,39 @@ func benchStealThroughput(rep *wsrtBenchReport) error {
 // path. Every producer hammers Submit with trivial jobs (retrying on a
 // full backlog), so the tiers expose any serialization in shard selection
 // or wakeup — with the legacy single channel the curve flatlines as
-// producers contend on one funnel.
-func benchSubmitThroughput(rep *wsrtBenchReport) error {
+// producers contend on one funnel. Each tier runs count times and the
+// median repetition (by jobs/sec) is reported; the per-rep rates ride
+// along in the artifact so a flaky runner is visible in the numbers.
+func benchSubmitThroughput(rep *wsrtBenchReport, count int) error {
+	if count < 1 {
+		count = 1
+	}
 	for _, producers := range []int{1, 4, 16, 64} {
-		tier, err := benchSubmitTier(producers, 2000)
-		if err != nil {
-			return err
+		reps := make([]submitThroughputTier, 0, count)
+		for i := 0; i < count; i++ {
+			tier, err := benchSubmitTier(producers, 8000)
+			if err != nil {
+				return err
+			}
+			reps = append(reps, tier)
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i].JobsPerSec < reps[j].JobsPerSec })
+		tier := reps[len(reps)/2]
+		if count > 1 {
+			tier.SamplesJobsPerSec = make([]float64, 0, count)
+			for _, r := range reps {
+				tier.SamplesJobsPerSec = append(tier.SamplesJobsPerSec, r.JobsPerSec)
+			}
 		}
 		rep.SubmitThroughput = append(rep.SubmitThroughput, tier)
 	}
 	return nil
 }
+
+// latStride is the latency sampling rate of a throughput tier: one job
+// in latStride measures submit-to-start latency, the rest share a single
+// hoisted body/onDone closure pair and pay no clock reads at all.
+const latStride = 8
 
 func benchSubmitTier(producers, jobs int) (submitThroughputTier, error) {
 	tier := submitThroughputTier{Producers: producers, Jobs: jobs}
@@ -231,22 +262,42 @@ func benchSubmitTier(producers, jobs int) (submitThroughputTier, error) {
 	if err := rt.Start(); err != nil {
 		return tier, err
 	}
-	lat := make([]int64, jobs)
+	// Each producer owns a fixed row of latency slots; a sampled job
+	// writes its own slot from the worker side, so no two goroutines
+	// ever touch the same element.
+	perProducer := jobs/producers + 1
+	maxSamples := perProducer/latStride + 1
+	lats := make([][]int64, producers)
+	taken := make([]int, producers)
+	for p := range lats {
+		lats[p] = make([]int64, maxSamples)
+	}
 	var done sync.WaitGroup
 	var submitErr atomic.Value
 	t0 := time.Now()
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
-		go func(p int) {
+		mine := (jobs - 1 - p) / producers // jobs this producer owns beyond the first
+		done.Add(mine + 1)
+		go func(p, mine int) {
 			defer wg.Done()
+			// Hoisted: every unsampled job submits these same two values and
+			// the completion count was added up front, so the steady-state
+			// producer loop allocates nothing and runs no atomics of its own.
+			body := func(*wsrt.Ctx) {}
+			onDone := func() { done.Done() }
+			row := lats[p]
+			n, k := 0, 0
 			for j := p; j < jobs; j += producers {
-				j := j
-				s0 := time.Now().UnixNano()
-				body := func(*wsrt.Ctx) { lat[j] = time.Now().UnixNano() - s0 }
-				done.Add(1)
+				fn := body
+				if n++; n%latStride == 0 && k < len(row) {
+					slot, s0 := &row[k], time.Now().UnixNano()
+					fn = func(*wsrt.Ctx) { *slot = time.Now().UnixNano() - s0 }
+					k++
+				}
 				for {
-					err := rt.Submit(body, func() { done.Done() })
+					err := rt.Submit(fn, onDone)
 					if err == nil {
 						break
 					}
@@ -255,11 +306,15 @@ func benchSubmitTier(producers, jobs int) (submitThroughputTier, error) {
 						continue
 					}
 					submitErr.Store(err)
-					done.Done()
+					// Give back the completions this producer will never
+					// submit: n-1 jobs made it in, mine+1 were pre-added.
+					done.Add(-(mine + 2 - n))
+					taken[p] = k
 					return
 				}
 			}
-		}(p)
+			taken[p] = k
+		}(p, mine)
 	}
 	wg.Wait()
 	done.Wait()
@@ -273,9 +328,16 @@ func benchSubmitTier(producers, jobs int) (submitThroughputTier, error) {
 	if tier.WallNS > 0 {
 		tier.JobsPerSec = float64(jobs) / (float64(tier.WallNS) / 1e9)
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	tier.P50NS = lat[jobs/2]
-	tier.P99NS = lat[jobs*99/100]
+	var lat []int64
+	for p, row := range lats {
+		lat = append(lat, row[:taken[p]]...)
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		tier.LatSamples = len(lat)
+		tier.P50NS = lat[len(lat)/2]
+		tier.P99NS = lat[(len(lat)-1)*99/100]
+	}
 	return tier, nil
 }
 

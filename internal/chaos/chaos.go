@@ -15,6 +15,9 @@
 //     wall clock;
 //   - pool layers conserve admissions: admitted == completed + cancelled,
 //     with zero jobs in flight after Drain;
+//   - the runtime's striped submission ledger balances after shutdown:
+//     every unit of SubmitQueueCap is back in exactly one place, no
+//     reservation leaked or was double-released (wsrt.VerifySubmitLedger);
 //   - the whole scenario completes within a deadlock bound.
 //
 // Execution interleavings stay nondeterministic — that is the point; the
@@ -430,6 +433,9 @@ func runRuntime(sc *Script, res *Result) {
 	}
 	if err != nil {
 		res.fail("shutdown: %v", err)
+	}
+	if err := rt.VerifySubmitLedger(); err != nil {
+		res.fail("submit ledger: %v", err)
 	}
 	<-oscDone
 	// Submitters have returned and Shutdown has flushed, so the ledger is

@@ -21,13 +21,23 @@ import (
 // never spin on a full ring and consumers never spin on an empty one —
 // both report failure immediately, which is what the runtime's bounded
 // submit path and opportunistic drain want.
+// In addition to the ring itself, every shard carries a reservation
+// credit cell: the runtime's striped submission-backlog accounting caches
+// slack from its global cap pool here, so producers that keep hitting the
+// same shard reserve against a shard-local counter instead of all CASing
+// one global word. The credit cell is padded onto its own cache line —
+// producers hammer it while consumers hammer deq — and the shard itself
+// stays policy-free: it only moves integers, the cap invariant lives in
+// the runtime's borrow protocol (see wsrt: reserveUpTo/releaseSlot).
 type Shard[T any] struct {
-	mask  uint64
-	slots []shardSlot[T]
-	_     [48]byte // keep enq/deq off the slots' cache lines
-	enq   atomic.Uint64
-	_     [56]byte // and off each other's
-	deq   atomic.Uint64
+	mask   uint64
+	slots  []shardSlot[T]
+	_      [48]byte // keep enq/deq off the slots' cache lines
+	enq    atomic.Uint64
+	_      [56]byte // and off each other's
+	deq    atomic.Uint64
+	_      [56]byte // and the credit cell off both hot ring counters
+	credit atomic.Int64
 }
 
 type shardSlot[T any] struct {
@@ -79,6 +89,65 @@ func (s *Shard[T]) Len() int {
 	}
 	return len(s.slots)
 }
+
+// Pushes returns the total number of elements ever enqueued (the enqueue
+// ticket counter). Every successful Push claims exactly one ticket before
+// publishing, so the count includes at most a handful of claimed-but-
+// mid-publish slots — racy-but-recent, monotonically non-decreasing, and
+// exact once producers quiesce. The runtime derives its injected-total
+// metric by summing this across shards.
+func (s *Shard[T]) Pushes() uint64 { return s.enq.Load() }
+
+// TryReserve claims up to want units of the shard's cached reservation
+// credit, returning how many were claimed (possibly 0). The CAS loop is
+// bounded: a producer that keeps losing the race walks away empty-handed
+// rather than spinning, and its caller falls through to the next rung of
+// the borrow ladder.
+func (s *Shard[T]) TryReserve(want int64) int64 {
+	if want <= 0 {
+		return 0
+	}
+	for try := 0; try < 4; try++ {
+		c := s.credit.Load()
+		if c <= 0 {
+			return 0
+		}
+		take := want
+		if take > c {
+			take = c
+		}
+		if s.credit.CompareAndSwap(c, c-take) {
+			return take
+		}
+	}
+	return 0
+}
+
+// Refund returns n previously claimed reservation units to this shard's
+// credit cell.
+func (s *Shard[T]) Refund(n int64) {
+	if n > 0 {
+		s.credit.Add(n)
+	}
+}
+
+// StealCredit drains the shard's entire cached credit in one CAS attempt,
+// returning how much was taken (0 when empty or when the attempt lost a
+// race — scavengers probe every sibling, so a single attempt per shard is
+// enough and keeps the scan bounded).
+func (s *Shard[T]) StealCredit() int64 {
+	c := s.credit.Load()
+	if c <= 0 {
+		return 0
+	}
+	if s.credit.CompareAndSwap(c, 0) {
+		return c
+	}
+	return 0
+}
+
+// CreditBalance returns the shard's cached reservation credit.
+func (s *Shard[T]) CreditBalance() int64 { return s.credit.Load() }
 
 // Push enqueues v. Safe for any number of concurrent producers (and
 // concurrent Pops). Returns false when the ring is full.

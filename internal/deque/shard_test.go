@@ -135,3 +135,93 @@ func TestShardLenBounds(t *testing.T) {
 	stop.Store(true)
 	wg.Wait()
 }
+
+// TestShardCreditCell covers the reservation-credit accessors the
+// runtime's striped backlog ledger is built on: claims are bounded and
+// never overdraw, refunds restore, and StealCredit drains whole balances.
+func TestShardCreditCell(t *testing.T) {
+	s := MustShard[int](8)
+	if got := s.CreditBalance(); got != 0 {
+		t.Fatalf("fresh shard credit %d, want 0", got)
+	}
+	if got := s.TryReserve(3); got != 0 {
+		t.Fatalf("TryReserve on empty credit claimed %d, want 0", got)
+	}
+	s.Refund(5)
+	if got := s.TryReserve(3); got != 3 {
+		t.Fatalf("TryReserve(3) with balance 5 claimed %d, want 3", got)
+	}
+	if got := s.TryReserve(10); got != 2 {
+		t.Fatalf("TryReserve(10) with balance 2 claimed %d, want 2 (partial)", got)
+	}
+	if got := s.TryReserve(1); got != 0 {
+		t.Fatalf("TryReserve on drained credit claimed %d, want 0", got)
+	}
+	s.Refund(4)
+	if got := s.StealCredit(); got != 4 {
+		t.Fatalf("StealCredit took %d, want the whole balance 4", got)
+	}
+	if got := s.CreditBalance(); got != 0 {
+		t.Fatalf("post-steal balance %d, want 0", got)
+	}
+	if got := s.TryReserve(0); got != 0 {
+		t.Fatalf("TryReserve(0) claimed %d, want 0", got)
+	}
+}
+
+// TestShardCreditConcurrentConservation hammers the credit cell from
+// claiming and refunding goroutines and checks conservation: units
+// claimed minus units refunded equals the balance drop.
+func TestShardCreditConcurrentConservation(t *testing.T) {
+	s := MustShard[int](8)
+	const seed = 1 << 20
+	s.Refund(seed)
+	var claimed, refunded atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				switch {
+				case p%2 == 0:
+					claimed.Add(s.TryReserve(int64(i%5 + 1)))
+				case i%7 == 0:
+					claimed.Add(s.StealCredit())
+				default:
+					s.Refund(2)
+					refunded.Add(2)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	want := seed + refunded.Load() - claimed.Load()
+	if got := s.CreditBalance(); got != want {
+		t.Fatalf("credit balance %d after hammer, want %d (seed %d + refunded %d - claimed %d)",
+			got, want, int64(seed), refunded.Load(), claimed.Load())
+	}
+	if got := s.CreditBalance(); got < 0 {
+		t.Fatalf("credit balance went negative: %d", got)
+	}
+}
+
+// TestShardPushesCounter checks the enqueue-ticket counter the runtime
+// derives its injected-total metric from.
+func TestShardPushesCounter(t *testing.T) {
+	s := MustShard[int](4)
+	v := 1
+	if got := s.Pushes(); got != 0 {
+		t.Fatalf("fresh shard Pushes %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Push(&v) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	s.Pop()
+	s.Push(&v)
+	if got := s.Pushes(); got != 4 {
+		t.Fatalf("Pushes %d after 4 pushes and a pop, want 4 (monotone, pops don't subtract)", got)
+	}
+}

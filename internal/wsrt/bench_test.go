@@ -7,18 +7,18 @@ import (
 	"time"
 )
 
-// TestStealOnceZeroAllocs guards the allocation-free steal path: one probe
-// sweep plus a successful steal and task execution must not touch the heap
-// at steady state. VictimsInto fills the worker-owned victimBuf and the Ctx
-// free list recycles frames, so after AllocsPerRun's warm-up call every
-// iteration reuses the same storage.
-func TestStealOnceZeroAllocs(t *testing.T) {
+// TestStealProbeZeroAllocs guards the allocation-free steal path: one
+// probe sweep plus a successful steal and task execution must not touch
+// the heap at steady state. VictimsInto fills the worker-owned victimBuf
+// and the Ctx free list recycles frames, so after AllocsPerRun's warm-up
+// call every iteration reuses the same storage.
+func TestStealProbeZeroAllocs(t *testing.T) {
 	rt, err := New(Config{Mesh: smallMesh(t), Source: 0, InitialDiaspora: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The runtime is built but never launched: the test goroutine plays
-	// both the victim's owner (PushBottom) and the thief (stealOnce).
+	// both the victim's owner (PushBottom) and the thief (stealProbe).
 	b := rt.loadPolicy()
 	if b == nil {
 		t.Fatal("no policy installed")
@@ -39,12 +39,14 @@ func TestStealOnceZeroAllocs(t *testing.T) {
 		if !victim.deque.PushBottom(task) {
 			t.Fatal("victim deque full")
 		}
-		if !thief.stealOnce() {
+		st := thief.stealProbe()
+		if st == nil {
 			t.Fatal("steal probe found nothing")
 		}
+		thief.runTask(st)
 	})
 	if allocs != 0 {
-		t.Fatalf("stealOnce path allocates %.1f objects/op, want 0", allocs)
+		t.Fatalf("stealProbe path allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

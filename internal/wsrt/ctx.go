@@ -77,20 +77,30 @@ func (c *Ctx) Sync() {
 			panic("wsrt: queue bottom was not the youngest spawn")
 		}
 	}
-	// Stolen: leapfrog until the thief finishes it.
+	// Stolen: leapfrog until the thief finishes it. Probes are stamped
+	// explicitly here (not via the loop's search episodes): this runs
+	// inside a task window, and the stamps feed the excluded accumulator
+	// so the probe time cannot double-count as the task's useful time.
 	spins := 0
 	for !t.done.Load() {
-		if c.w.state.Load() == stateDraining || !c.w.stealOnce() {
-			spins++
-			if spins < 32 {
-				runtime.Gosched()
-			} else {
-				t0 := nowNS()
-				time.Sleep(5 * time.Microsecond)
-				c.w.addSearch(nowNS() - t0)
-			}
-		} else {
+		var st *rtTask
+		if c.w.state.Load() != stateDraining {
+			t0 := nowNS()
+			st = c.w.stealProbe()
+			c.w.addSearch(nowNS() - t0)
+		}
+		if st != nil {
+			c.w.runTask(st)
 			spins = 0
+			continue
+		}
+		spins++
+		if spins < 32 {
+			runtime.Gosched()
+		} else {
+			t0 := nowNS()
+			time.Sleep(5 * time.Microsecond)
+			c.w.addSearch(nowNS() - t0)
 		}
 	}
 }

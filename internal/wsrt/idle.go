@@ -153,13 +153,22 @@ func (w *worker) wakeWorthy() bool {
 		// last sweep and this announce must be honoured here.
 		w.victimBuf = b.policy.VictimsInto(w.id, w.victimBuf[:0])
 		for _, v := range w.victimBuf {
-			if vw := r.workers[v]; vw != nil && vw.deque.Len() > 0 {
+			if vw := r.workerByID(v); vw != nil && vw.deque.Len() > 0 {
 				return true
 			}
 		}
 	}
-	if w.pickup && r.queued.Load() > 0 {
-		return true // an injection shard somewhere holds a job
+	if w.pickup {
+		// An injection shard somewhere holds a job. The depth sweep
+		// replaces the old aggregate-counter load; each Len is
+		// racy-but-recent, and the parking protocol covers the race — a
+		// producer whose push this sweep misses necessarily observes the
+		// announced flag afterwards and delivers a token.
+		for _, vw := range r.workerList {
+			if vw.shard.Len() > 0 {
+				return true
+			}
+		}
 	}
 	return false
 }
@@ -182,9 +191,14 @@ func (w *worker) idleWait() {
 	w.hwm.Store(0)
 	r.parks.Add(1)
 	t0 := nowNS()
+	// The same reading closes the loop's open search episode and starts
+	// the idle window — the search/idle boundary is exact by construction.
+	w.closeSearch(t0)
 	<-w.parkC
 	r.clearIdle(w)
-	dur := nowNS() - t0
+	end := nowNS()
+	w.phaseTS = end
+	dur := end - t0
 	w.addIdle(dur)
 	w.emit(obs.KindPark, obs.NoWorker, dur)
 }
@@ -199,8 +213,11 @@ func (w *worker) parkBlocked() {
 	w.hwm.Store(0)
 	w.rt.parks.Add(1)
 	t0 := nowNS()
+	w.closeSearch(t0)
 	<-w.parkC
-	dur := nowNS() - t0
+	end := nowNS()
+	w.phaseTS = end
+	dur := end - t0
 	w.addIdle(dur)
 	w.emit(obs.KindPark, obs.NoWorker, dur)
 }

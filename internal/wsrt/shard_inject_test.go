@@ -90,8 +90,11 @@ func TestShutdownFlushesAllShards(t *testing.T) {
 	if got := flushed.Load(); got != queued {
 		t.Fatalf("flush fired %d onDone callbacks, want %d", got, queued)
 	}
-	if got := rt.queued.Load(); got != 0 {
+	if got := rt.backlogTotal(); got != 0 {
 		t.Fatalf("aggregate backlog %d after flush, want 0", got)
+	}
+	if err := rt.VerifySubmitLedger(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -145,7 +148,7 @@ func TestSubmitBatchRunsAllJobs(t *testing.T) {
 	if got := ran.Load(); got != batches*per*2 {
 		t.Fatalf("ran %d task bodies, want %d", got, batches*per*2)
 	}
-	if got := rt.injected.Load(); got != batches*per {
+	if got := rt.injectedTotal(); got != batches*per {
 		t.Fatalf("injected counter %d, want %d", got, batches*per)
 	}
 	if _, err := rt.Shutdown(); err != nil {

@@ -24,6 +24,7 @@ package wsrt
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -200,9 +201,15 @@ type Runtime struct {
 
 	workers map[topo.CoreID]*worker
 	// workerList is the same set in core-id order, for lock-free iteration
-	// on paths that want a stable order (shard scans, the shutdown flush).
+	// on paths that want a stable order (shard scans, the shutdown flush,
+	// the seal barrier — lock order matters there).
 	workerList []*worker
-	policy     atomic.Value // *policyBundle over the resident set
+	// byID is a dense CoreID -> worker index for the hot paths (steal
+	// probes, shard scans): a slice load is ~3x cheaper than a map lookup
+	// and showed up at ~8% of CPU in the submit-throughput profile.
+	// Entries for reserved cores are nil.
+	byID   []*worker
+	policy atomic.Value // *policyBundle over the resident set
 
 	// policyMu serializes rebuildPolicy: the helper rebuilds on allotment
 	// changes and retiring workers rebuild to purge themselves from the
@@ -226,33 +233,52 @@ type Runtime struct {
 
 	// persistent-mode state: job roots enter through per-worker injection
 	// shards (worker.shard) instead of one global funnel; closed flips once
-	// at Shutdown. queued is the aggregate submitted-but-unstarted count —
-	// Submit reserves a slot against SubmitQueueCap before pushing (so the
-	// cap stays an exact bound no matter how jobs spread over shards) and
-	// consumers release the slot when they pop. Every shard's ring is at
-	// least SubmitQueueCap deep, so a push after a successful reservation
-	// cannot fail; the scan fallback in pushAny is belt-and-braces.
+	// at Shutdown.
 	//
-	// sealMu composes the closed check with the shard push: Submit holds
-	// the read side across both, Shutdown takes the write side to flip
-	// closed, so by the time Shutdown's post-quiesce flush runs, every
-	// Submit that returned nil has finished publishing into its shard and
-	// every later Submit observes ErrClosed — no job can land in a shard
-	// after the flush and be silently lost.
+	// SubmitQueueCap is enforced by a striped reservation ledger instead
+	// of one aggregate counter. Every unit of the cap lives in exactly one
+	// of three places at any instant: the global slack pool (capFree), a
+	// shard's cached credit cell (shard.CreditBalance), or an outstanding
+	// reservation backing a queued job. Producers claim units through a
+	// bounded ladder (reserveUpTo: shard-local credit, then a batched
+	// refill from capFree, then scavenging sibling credit caches) and every
+	// transfer removes from the source before adding to the destination, so
+	// the sum of all three never exceeds the cap — SubmitQueueCap stays a
+	// provable cross-shard bound while producers on different shards stop
+	// sharing a cache line. Consumers release a unit for every shard pop
+	// (releaseSlot), tying release 1:1 to a successful Pop: the ring
+	// hands each element to exactly one popper, so double-release is
+	// structurally impossible no matter how rescue scans and the shutdown
+	// flush interleave. Every shard's ring is at least SubmitQueueCap deep,
+	// so a push after a successful reservation cannot fail; the scan
+	// fallback in pushAny is belt-and-braces.
+	//
+	// The per-worker seal locks (worker.seal) compose the closed check
+	// with the shard push: Submit holds its picked shard's read side
+	// across both, Shutdown flips closed and then takes every write side
+	// once (the seal barrier), so by the time Shutdown's post-quiesce
+	// flush runs, every Submit that returned nil has finished publishing
+	// into its shard and every later Submit observes ErrClosed — no job
+	// can land in a shard after the flush and be silently lost. Splitting
+	// the old global sealMu per worker removes the last producer-shared
+	// cache line from the submit fast path.
 	persistent bool
-	queued     atomic.Int64
-	injected   atomic.Int64
-	sealMu     sync.RWMutex
 	closed     atomic.Bool
 	stopHelper chan struct{}
 	helperDone chan struct{}
 
-	// cursor hands each producer a cheap round-robin position for shard
-	// choice without a shared contended counter: sync.Pool keeps cursors
-	// per-P, and cursorSeed scatters the starting offsets so simultaneous
-	// producers begin on different shards.
-	cursor     sync.Pool
-	cursorSeed atomic.Uint64
+	// capFree is the global slack pool of the striped ledger: cap units
+	// not cached on any shard and not backing a queued job. Padded so the
+	// refill/overflow traffic cannot false-share with the read-mostly
+	// fields around it.
+	_       [64]byte
+	capFree atomic.Int64
+	_       [56]byte
+	// creditCap bounds how much credit a release parks on one shard
+	// before overflowing to capFree (read-only after New): low enough
+	// that credit cannot strand on cold shards and starve producers, high
+	// enough that a loaded shard refills rarely.
+	creditCap int64
 
 	timeline  trace.Timeline
 	decisions trace.Log
@@ -342,12 +368,6 @@ func New(cfg Config) (*Runtime, error) {
 		workers:  make(map[topo.CoreID]*worker),
 		rootDone: make(chan struct{}),
 	}
-	r.cursor.New = func() any {
-		c := new(uint64)
-		// Weyl-sequence increment: successive cursors land far apart.
-		*c = r.cursorSeed.Add(0x9e3779b97f4a7c15)
-		return c
-	}
 	if cfg.Estimator != nil {
 		r.ctrl = core.NewController(cfg.Estimator)
 	}
@@ -363,6 +383,23 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		r.workers[id] = w
 		r.workerList = append(r.workerList, w)
+	}
+	r.byID = make([]*worker, r.mesh.NumCores())
+	for _, w := range r.workerList {
+		r.byID[w.id] = w
+	}
+	// The whole cap starts in the global slack pool; shard credit caches
+	// fill lazily as producers refill and consumers release. creditCap
+	// splits the cap across the shards with headroom (half the even share,
+	// floor 2): a release never strands more than creditCap units on an
+	// idle shard, and scavenging visits every shard, so a producer fails
+	// only when the cap is genuinely exhausted.
+	r.capFree.Store(int64(cfg.SubmitQueueCap))
+	r.creditCap = 2
+	if n := int64(2 * len(r.workerList)); n > 0 {
+		if c := int64(cfg.SubmitQueueCap) / n; c > r.creditCap {
+			r.creditCap = c
+		}
 	}
 	if cfg.Tracer != nil {
 		r.helperRing = cfg.Tracer.NewRing(false)
@@ -406,11 +443,19 @@ func (r *Runtime) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("palirria_wakeups_total", "Wake tokens delivered to announced idle workers.",
 		func() float64 { return float64(r.wakeups.Load()) }, base...)
 	reg.CounterFunc("palirria_injected_total", "Job roots accepted by Submit/SubmitBatch.",
-		func() float64 { return float64(r.injected.Load()) }, base...)
+		func() float64 { return float64(r.injectedTotal()) }, base...)
 	reg.CounterFunc("palirria_shard_steals_total", "Injected job roots taken from a sibling's shard.",
 		sum(func(w *worker) *int64 { return &w.stats.ShardSteals }), base...)
 	reg.GaugeFunc("palirria_submit_backlog", "Submitted job roots not yet started, across all shards.",
-		func() float64 { return float64(r.queued.Load()) }, base...)
+		func() float64 { return float64(r.backlogTotal()) }, base...)
+	reg.GaugeFunc("palirria_submit_slack", "Unreserved submission-backlog capacity (global pool plus per-shard credit caches).",
+		func() float64 {
+			t := float64(r.capFree.Load())
+			for _, w := range r.workerList {
+				t += float64(w.shard.CreditBalance())
+			}
+			return t
+		}, base...)
 	for id, w := range r.workers {
 		w := w
 		lbls := append(append([]obs.Label(nil), base...), obs.Label{Key: "core", Value: fmt.Sprint(id)})
@@ -551,25 +596,38 @@ func (r *Runtime) Start() error {
 // global funnel.
 //
 // Submit is safe to call concurrently with Shutdown: the closed check and
-// the shard push are composed under the seal lock, so a Submit either
-// returns ErrClosed or its job is observed by Shutdown's flush — a nil
-// return always means onDone will fire exactly once, either because the
-// job ran or because the shutdown flush discarded it.
+// the shard push are composed under the picked shard's seal lock, so a
+// Submit either returns ErrClosed or its job is observed by Shutdown's
+// flush — a nil return always means onDone will fire exactly once, either
+// because the job ran or because the shutdown flush discarded it.
 func (r *Runtime) Submit(fn Func, onDone func()) error {
 	if !r.persistent {
 		return ErrNotPersistent
 	}
-	r.sealMu.RLock()
-	defer r.sealMu.RUnlock()
+	w := r.pickShard(r.loadPolicy())
+	w.seal.RLock()
 	if r.closed.Load() {
+		w.seal.RUnlock()
 		return ErrClosed
 	}
-	w, err := r.push(&rtTask{fn: fn, onDone: onDone}, r.loadPolicy())
-	if err != nil {
-		return err
+	if r.reserveUpTo(w, 1) == 0 {
+		w.seal.RUnlock()
+		return ErrSubmitQueueFull
 	}
-	r.injected.Add(1)
-	r.wakeForInject(w)
+	t := &rtTask{fn: fn, onDone: onDone}
+	target := w
+	if !w.shard.Push(t) {
+		// Cannot happen by construction (every ring is at least
+		// SubmitQueueCap deep and a reservation was claimed), but a scan
+		// beats a lost job if the sizing invariant is ever broken.
+		if target = r.pushAny(t); target == nil {
+			w.shard.Refund(1)
+			w.seal.RUnlock()
+			return ErrSubmitQueueFull
+		}
+	}
+	w.seal.RUnlock()
+	r.wakeForInject(target)
 	return nil
 }
 
@@ -583,14 +641,24 @@ type Job struct {
 	OnDone func()
 }
 
-// SubmitBatch enqueues several job roots under a single seal-lock
-// acquisition, spreading them over the injection shards and coalescing
+// submitBatchChunk is how many jobs one SubmitBatch iteration reserves
+// and publishes against a single shard: large enough to amortize the
+// reservation ladder to roughly one walk per eight jobs, small enough
+// that a burst still spreads over several shards for parallel pickup.
+const submitBatchChunk = 8
+
+// SubmitBatch enqueues several job roots, reserving backlog capacity once
+// per chunk per shard (instead of one reservation per job) and coalescing
 // wakeups to at most one per touched shard — the amortization that makes
 // wave-shaped open-loop load (cmd/palirria-load) cheap. Acceptance is a
 // prefix: the first n jobs were enqueued and carry Submit's exactly-once
 // onDone guarantee; jobs[n:] were not touched. err is nil when every job
-// was accepted, ErrClosed (with n == 0) after Shutdown, or
-// ErrSubmitQueueFull when the aggregate backlog bound filled mid-batch.
+// was accepted, ErrClosed after Shutdown, or ErrSubmitQueueFull when the
+// aggregate backlog bound filled mid-batch. Because the batch publishes
+// chunk by chunk, a Shutdown racing the batch can seal it mid-way:
+// ErrClosed, like ErrSubmitQueueFull, may be returned with n > 0 and the
+// accepted prefix is then on the books (their onDone fire via the
+// shutdown flush).
 func (r *Runtime) SubmitBatch(jobs []Job) (n int, err error) {
 	if !r.persistent {
 		return 0, ErrNotPersistent
@@ -598,78 +666,191 @@ func (r *Runtime) SubmitBatch(jobs []Job) (n int, err error) {
 	if len(jobs) == 0 {
 		return 0, nil
 	}
-	r.sealMu.RLock()
-	defer r.sealMu.RUnlock()
-	if r.closed.Load() {
-		return 0, ErrClosed
-	}
 	b := r.loadPolicy()
-	var touched []*worker
-	for i := range jobs {
-		w, perr := r.push(&rtTask{fn: jobs[i].Fn, onDone: jobs[i].OnDone}, b)
-		if perr != nil {
-			err = perr
+	var touchedBuf [8]*worker
+	touched := touchedBuf[:0]
+	for n < len(jobs) && err == nil {
+		w := r.pickShard(b)
+		w.seal.RLock()
+		if r.closed.Load() {
+			w.seal.RUnlock()
+			err = ErrClosed
 			break
 		}
-		n++
-		fresh := true
-		for _, tw := range touched {
-			if tw == w {
-				fresh = false
-				break
+		want := int64(len(jobs) - n)
+		if want > submitBatchChunk {
+			want = submitBatchChunk
+		}
+		got := int(r.reserveUpTo(w, want))
+		if got == 0 {
+			w.seal.RUnlock()
+			err = ErrSubmitQueueFull
+			break
+		}
+		for i := 0; i < got; i++ {
+			t := &rtTask{fn: jobs[n].Fn, onDone: jobs[n].OnDone}
+			pw := w
+			if !w.shard.Push(t) {
+				// Cannot happen by construction; see Submit.
+				if pw = r.pushAny(t); pw == nil {
+					w.shard.Refund(int64(got - i))
+					err = ErrSubmitQueueFull
+					break
+				}
 			}
+			n++
+			touched = addTouched(touched, pw)
 		}
-		if fresh {
-			touched = append(touched, w)
-		}
+		w.seal.RUnlock()
 	}
-	if n > 0 {
-		r.injected.Add(int64(n))
-		for _, w := range touched {
-			r.wakeForInject(w)
-		}
+	for _, tw := range touched {
+		r.wakeForInject(tw)
 	}
 	return n, err
 }
 
-// push reserves one backlog slot and publishes t into a shard, returning
-// the shard's owner for the wakeup. Callers hold sealMu.RLock with the
-// closed check already done.
-func (r *Runtime) push(t *rtTask, b *policyBundle) (*worker, error) {
-	if !r.reserveSlot() {
-		return nil, ErrSubmitQueueFull
-	}
-	w := r.pickShard(b)
-	if !w.shard.Push(t) {
-		// Cannot happen by construction (every ring is at least
-		// SubmitQueueCap deep and a slot was reserved), but a scan beats a
-		// lost job if the sizing invariant is ever broken.
-		if w = r.pushAny(t); w == nil {
-			r.queued.Add(-1)
-			return nil, ErrSubmitQueueFull
+// addTouched appends w to the wake-dedup list unless already present.
+func addTouched(ws []*worker, w *worker) []*worker {
+	for _, o := range ws {
+		if o == w {
+			return ws
 		}
 	}
-	return w, nil
+	return append(ws, w)
 }
 
-// reserveSlot claims one unit of the aggregate submission backlog bound.
-func (r *Runtime) reserveSlot() bool {
-	limit := int64(r.cfg.SubmitQueueCap)
-	for {
-		n := r.queued.Load()
-		if n >= limit {
-			return false
-		}
-		if r.queued.CompareAndSwap(n, n+1) {
-			return true
-		}
+// Reservation-ladder tuning.
+const (
+	// reserveRetries bounds the CAS attempts against the global slack
+	// pool. A producer racing 63 others at the cap boundary loses at most
+	// this many races before degrading to a single wait-free claim and,
+	// failing that, to ErrSubmitQueueFull — the submit path cannot
+	// livelock (TestSubmitNoLivelockAtCap).
+	reserveRetries = 4
+	// creditBatch is the extra slack a refill pulls beyond the immediate
+	// need, caching it on the producer's shard so subsequent Submits
+	// reserve locally without touching the global pool.
+	creditBatch = 8
+)
+
+// reserveUpTo claims up to want backlog units for pushes into w's shard,
+// returning how many were claimed (0 when the cap is saturated). The
+// ladder: the shard's own credit cache (one CAS on an uncontended line),
+// a batched refill from the global slack pool, then scavenging credit
+// cached on sibling shards (one CAS attempt each). Every rung is bounded
+// and every transfer removes from its source before adding anywhere, so
+// the cap bound holds at every instant and a producer can never spin
+// unboundedly. In the absence of concurrent producers the ladder is
+// exhaustive — it finds every free unit in the system — which keeps
+// SubmitQueueCap an exact capacity, not merely an upper bound.
+func (r *Runtime) reserveUpTo(w *worker, want int64) int64 {
+	got := w.shard.TryReserve(want)
+	if got == want {
+		return got
 	}
+	got += r.refillReserve(w, want-got)
+	if got == want {
+		return got
+	}
+	got += r.scavengeReserve(w, want-got)
+	return got
 }
 
-// pickShard chooses the injection shard for one job: advance a cheap
-// per-producer round-robin cursor, then take the shallower of the shard it
-// lands on and its neighbour (power-of-two-choices keeps the spread even
-// when producers are few and bursty).
+// refillReserve claims up to need units from the global slack pool,
+// pulling a bounded batch of extra credit onto w's shard while it is
+// there. The CAS loop is bounded; past it, one wait-free Add claims a
+// single unit or undoes itself.
+func (r *Runtime) refillReserve(w *worker, need int64) int64 {
+	for try := 0; try < reserveRetries; try++ {
+		free := r.capFree.Load()
+		if free <= 0 {
+			return 0
+		}
+		take := need
+		if extra := free / 2; extra > 0 {
+			if extra > creditBatch {
+				extra = creditBatch
+			}
+			take += extra
+		}
+		if take > free {
+			take = free
+		}
+		if r.capFree.CompareAndSwap(free, free-take) {
+			if take > need {
+				w.shard.Refund(take - need)
+				return need
+			}
+			return take
+		}
+	}
+	// Contended past the retry bound: claim one unit wait-free. A
+	// negative result means the pool was empty; undo and give up — the
+	// caller falls through to scavenging, then to ErrSubmitQueueFull.
+	if r.capFree.Add(-1) >= 0 {
+		return 1
+	}
+	r.capFree.Add(1)
+	return 0
+}
+
+// scavengeReserve pulls credit cached on sibling shards, one bounded
+// attempt per shard, refunding any excess to w's shard.
+func (r *Runtime) scavengeReserve(w *worker, need int64) int64 {
+	var got int64
+	for _, v := range r.workerList {
+		if v == w {
+			continue
+		}
+		if c := v.shard.StealCredit(); c > 0 {
+			got += c
+			if got >= need {
+				break
+			}
+		}
+	}
+	if got > need {
+		w.shard.Refund(got - need)
+		return need
+	}
+	return got
+}
+
+// releaseSlot returns one reservation unit after a successful pop from
+// shard s. Release is tied 1:1 to Pop — the ring hands each element to
+// exactly one popper — so no interleaving of owner drains, sibling
+// rescues, and the shutdown flush can release a unit twice (the old
+// aggregate counter relied on every pop site pairing its decrement
+// correctly; here the pairing is structural). The unit lands on the
+// popped shard's credit cache unless that cache is already rich, in
+// which case it overflows to the global pool so cold shards cannot hoard
+// the cap.
+func (r *Runtime) releaseSlot(s *deque.Shard[rtTask]) {
+	if s.CreditBalance() >= r.creditCap {
+		r.capFree.Add(1)
+		return
+	}
+	s.Refund(1)
+}
+
+// pickShard chooses the injection shard for one job: two independent
+// uniform candidates over the granted members, keeping the shallower
+// (power-of-two-choices). rand/v2 draws from a per-P generator, so
+// producers share no cursor state at all — the old sync.Pool round-robin
+// cursor cost a pool round-trip per Submit and was the second-largest
+// submit-path serialization after the aggregate counter.
+//
+// Bounded staleness of the depth comparison: Shard.Len is racy-but-recent
+// — each load is a linearizable read of the ring's enq-deq counters, so
+// by the time the push lands the depths may have moved by whatever pushes
+// and pops overlapped this Submit, and the "shallower" pick is only
+// statistically shallower, not instantaneously so. That is the contract
+// p2c needs: correctness never depends on depth (capacity is enforced by
+// the reservation ledger, and a push after a successful reservation
+// cannot fail), depth only steers placement, and steering only requires
+// the comparison to be right on average (TestPickShardPrefersShallower
+// pins that; the adversarial interleavings belong to the cap-invariant
+// property test).
 func (r *Runtime) pickShard(b *policyBundle) *worker {
 	var ms []*worker
 	if b != nil {
@@ -681,13 +862,12 @@ func (r *Runtime) pickShard(b *policyBundle) *worker {
 	if len(ms) == 1 {
 		return ms[0]
 	}
-	c := r.cursor.Get().(*uint64)
-	*c++
-	seq := *c
-	r.cursor.Put(c)
+	// One draw yields both candidates; the halves are independent enough
+	// for p2c and a duplicate pair is harmless.
+	seq := rand.Uint64()
 	n := uint64(len(ms))
 	w := ms[seq%n]
-	if alt := ms[(seq+1)%n]; alt.shard.Len() < w.shard.Len() {
+	if alt := ms[(seq>>32)%n]; alt.shard.Len() < w.shard.Len() {
 		w = alt
 	}
 	return w
@@ -713,16 +893,18 @@ func (r *Runtime) Shutdown() (*Report, error) {
 	if !r.persistent {
 		return nil, ErrNotPersistent
 	}
-	// Seal the submission path: after the write section below, every
-	// Submit that will ever return nil has finished publishing into its
-	// shard (the lock waited for in-flight readers) and every later Submit
-	// sees ErrClosed.
-	r.sealMu.Lock()
-	sealed := r.closed.CompareAndSwap(false, true)
-	r.sealMu.Unlock()
-	if !sealed {
+	if !r.closed.CompareAndSwap(false, true) {
 		return nil, ErrClosed
 	}
+	// Seal barrier: every Submit holds its picked shard's seal read lock
+	// from the closed check through the publish (including a pushAny
+	// redirect into any other shard), so holding every write lock once
+	// waits out all in-flight producers, and producers that arrive later
+	// observe closed first. After the barrier the submission path is
+	// quiescent for good: every Submit that will ever return nil has
+	// finished publishing into its shard.
+	r.sealAll()
+	r.unsealAll()
 	r.finished.Store(true)
 	r.teardown()
 	// Wall clock is captured after quiesce: workers keep accruing IdleNS
@@ -733,20 +915,101 @@ func (r *Runtime) Shutdown() (*Report, error) {
 	// Flush submissions that no worker will ever pick up — every shard,
 	// not just the one the last submitter touched. Workers exited in
 	// teardown and the path is sealed, so this drain observes every job
-	// ever admitted and still unrun.
+	// ever admitted and still unrun. Each pop releases its reservation
+	// like any consumer pop would, so the ledger balances afterwards
+	// (VerifySubmitLedger).
 	for _, w := range r.workerList {
 		for {
 			t, ok := w.shard.Pop()
 			if !ok {
 				break
 			}
-			r.queued.Add(-1)
+			r.releaseSlot(w.shard)
 			if t.onDone != nil {
 				t.onDone()
 			}
 		}
 	}
 	return r.buildReport(wall), nil
+}
+
+// sealAll acquires every worker's seal write lock in workerList order —
+// the single seal lock order in the package. Shutdown's barrier and the
+// cap-invariant test sampler both go through here, so they cannot
+// deadlock against each other.
+func (r *Runtime) sealAll() {
+	for _, w := range r.workerList {
+		w.seal.Lock()
+	}
+}
+
+// unsealAll releases the locks sealAll took.
+func (r *Runtime) unsealAll() {
+	for _, w := range r.workerList {
+		w.seal.Unlock()
+	}
+}
+
+// backlogTotal is the submitted-but-unstarted job count: the sum of
+// shard depths. Each term is a racy-but-recent snapshot that is
+// individually non-negative, so the palirria_submit_backlog gauge is
+// structurally incapable of going negative — a property the old
+// aggregate counter kept only as long as every pop site paired its
+// decrement exactly once.
+func (r *Runtime) backlogTotal() int64 {
+	var t int64
+	for _, w := range r.workerList {
+		t += int64(w.shard.Len())
+	}
+	return t
+}
+
+// injectedTotal counts job roots ever accepted by Submit/SubmitBatch:
+// the sum of per-shard enqueue tickets (every accepted job is pushed into
+// exactly one shard, exactly once).
+func (r *Runtime) injectedTotal() int64 {
+	var t int64
+	for _, w := range r.workerList {
+		t += int64(w.shard.Pushes())
+	}
+	return t
+}
+
+// VerifySubmitLedger audits the striped reservation ledger of a shut-down
+// persistent runtime: the shards must be empty (the flush drained them)
+// and every unit of SubmitQueueCap must be back in exactly one place —
+// the global slack pool or a shard's credit cache. A non-nil error means
+// a reservation leaked (capacity quietly shrank: eventual spurious
+// ErrSubmitQueueFull) or was double-released (the cap bound went soft).
+// The chaos harness calls this after every runtime scenario; it returns
+// nil on batch-mode runtimes, which have no submission ledger.
+func (r *Runtime) VerifySubmitLedger() error {
+	if !r.persistent {
+		return nil
+	}
+	if !r.closed.Load() {
+		return errors.New("wsrt: submit-ledger audit requires a shut-down runtime")
+	}
+	free := r.capFree.Load()
+	if free < 0 {
+		return fmt.Errorf("wsrt: submit ledger: global slack pool is negative (%d)", free)
+	}
+	var credits, backlog int64
+	for _, w := range r.workerList {
+		c := w.shard.CreditBalance()
+		if c < 0 {
+			return fmt.Errorf("wsrt: submit ledger: shard %d credit is negative (%d)", w.id, c)
+		}
+		credits += c
+		backlog += int64(w.shard.Len())
+	}
+	if backlog != 0 {
+		return fmt.Errorf("wsrt: submit ledger: %d jobs still queued after the shutdown flush", backlog)
+	}
+	if limit := int64(r.cfg.SubmitQueueCap); free+credits != limit {
+		return fmt.Errorf("wsrt: submit ledger unbalanced: free %d + shard credits %d != cap %d", free, credits, limit)
+	}
+	return nil
 }
 
 // launch starts every worker goroutine (granted ones active, the rest
@@ -1014,8 +1277,6 @@ func (r *Runtime) estimatorSnapshot(snap *core.Snapshot, prevSize, granted int) 
 	return es
 }
 
-func nowNS() int64 { return time.Now().UnixNano() }
-
 // worker states.
 const (
 	stateParked int32 = iota
@@ -1024,7 +1285,12 @@ const (
 	stateStopped
 )
 
-// worker is one work-stealing worker thread.
+// worker is one work-stealing worker thread. Field layout is a deliberate
+// padding audit: the owner-only hot section comes first, then a cache
+// line of padding before the foreign-written flags (wakers CAS waiting,
+// the helper flips state), then another before the producer-hammered seal
+// lock — so a producer sealing a Submit or a waker delivering a token
+// never invalidates the line the owner's inner loop is reading.
 type worker struct {
 	id    topo.CoreID
 	rt    *Runtime
@@ -1032,21 +1298,10 @@ type worker struct {
 	// shard is the worker's external-injection queue: multi-producer
 	// (Submit/SubmitBatch pick a shard per job), drained by the owner
 	// first and by sibling thieves in DVS victim order. Sized at least
-	// SubmitQueueCap so a push under a successful aggregate reservation
-	// never fails.
+	// SubmitQueueCap so a push under a successful reservation never
+	// fails.
 	shard *deque.Shard[rtTask]
-	state atomic.Int32
 	parkC chan struct{}
-
-	// hwm is the µ(Q) queue-length high-water mark of the worker's most
-	// recent active quantum; hwmSeq is the quantum it belongs to
-	// (owner-only — see Runtime.qseq for the lazy reset protocol).
-	hwm    atomic.Int32
-	hwmSeq int64
-	// busy reports a task currently executing; depth tracks runTask
-	// nesting (owner-only).
-	busy  atomic.Bool
-	depth int
 
 	// pickup marks persistent-mode workers: when idle with nothing to
 	// steal, they pull new job roots from the injection shards (their own
@@ -1054,10 +1309,11 @@ type worker struct {
 	// read only by it.
 	pickup bool
 
-	// waiting is the worker's announced-idle flag: the prepare half of the
-	// parking protocol (see idle.go). Set by the worker before it blocks,
-	// CAS-consumed by exactly one waker (or the worker itself on wake).
-	waiting atomic.Bool
+	// hwmSeq is the quantum the hwm mark belongs to (owner-only — see
+	// Runtime.qseq for the lazy reset protocol).
+	hwmSeq int64
+	// depth tracks runTask nesting (owner-only).
+	depth int
 	// victimBuf is the worker-owned scratch buffer VictimsInto fills, so
 	// steal probes do zero heap allocations at steady state (owner-only).
 	victimBuf []topo.CoreID
@@ -1072,10 +1328,41 @@ type worker struct {
 	// spins counts consecutive failed sweeps toward the idleSpins budget
 	// (owner-only).
 	spins int
+	// searchT0 is the start of the open search episode (0 = none) and
+	// phaseTS the clock reading at the last phase boundary — the two
+	// owner-only words behind the phase-boundary accounting that lets
+	// back-to-back tasks pay a single clock read each (see runTask).
+	searchT0 int64
+	phaseTS  int64
 
 	// ring records structured events when tracing is enabled (nil
 	// otherwise). Only this worker's goroutine emits into it.
 	ring *obs.Ring
+
+	_ [64]byte // foreign-written flags below; owner-only loop state above
+
+	state atomic.Int32
+	// waiting is the worker's announced-idle flag: the prepare half of the
+	// parking protocol (see idle.go). Set by the worker before it blocks,
+	// CAS-consumed by exactly one waker (or the worker itself on wake).
+	waiting atomic.Bool
+	// hwm is the µ(Q) queue-length high-water mark of the worker's most
+	// recent active quantum.
+	hwm atomic.Int32
+	// busy reports a task currently executing.
+	busy atomic.Bool
+
+	_ [52]byte // and the producer-side seal off the flags the owner writes
+
+	// seal is this worker's stripe of the submission seal: producers hold
+	// the read side across the closed check, the reservation, and the
+	// shard push; Shutdown's barrier (and the cap-invariant test sampler)
+	// write-locks every stripe in workerList order. Splitting the old
+	// global sealMu per worker removes the last producer-shared cache
+	// line from the submit fast path.
+	seal sync.RWMutex
+
+	_ [40]byte // and the owner-written stats off the seal's line
 
 	stats WorkerReport
 }
@@ -1099,6 +1386,31 @@ func (w *worker) noteSpawn(n int32) {
 func (w *worker) addSearch(dt int64) {
 	atomic.AddInt64(&w.stats.SearchNS, dt)
 	w.excluded += dt
+}
+
+// openSearch starts a search episode anchored at the last phase boundary
+// — the end of the last task or park — without reading the clock.
+// Idempotent while an episode is open; runTask, idleWait, and parkBlocked
+// close the episode with the single clock read they were doing anyway.
+// Only the worker loop (depth 0) opens episodes; Sync's leapfrog stamps
+// its probes explicitly because it runs inside a task window.
+func (w *worker) openSearch() {
+	if w.searchT0 == 0 {
+		if w.phaseTS != 0 {
+			w.searchT0 = w.phaseTS
+		} else {
+			w.searchT0 = nowNS()
+		}
+	}
+}
+
+// closeSearch ends an open search episode at now, charging it to
+// SearchNS. No-op when no episode is open.
+func (w *worker) closeSearch(now int64) {
+	if w.searchT0 != 0 {
+		w.addSearch(now - w.searchT0)
+		w.searchT0 = 0
+	}
 }
 
 // addIdle charges dt nanoseconds of parked time (always at depth 0).
@@ -1208,16 +1520,35 @@ func (w *worker) loop() {
 			}
 			continue
 		}
-		// Steal.
-		if w.stealOnce() {
+		// Persistent mode: drain the worker's own injection shard before
+		// sweeping victims — it is the work Submit explicitly placed here
+		// (the locality the p2c pick aimed for), and the hit path costs
+		// one ring pop where a steal sweep walks the whole victim list.
+		if w.pickup {
+			if t, ok := w.shard.Pop(); ok {
+				w.rt.releaseSlot(w.shard)
+				// More behind it: pass the signal on before running (the
+				// same wake chaining the steal path does).
+				if w.shard.Len() > 0 {
+					w.wakeOneThief()
+				}
+				w.runTask(t)
+				w.spins = 0
+				continue
+			}
+		}
+		// Steal. Lookups from here on are search effort: open the episode
+		// at the last phase boundary (no clock read — see openSearch).
+		w.openSearch()
+		if t := w.stealProbe(); t != nil {
+			w.runTask(t)
 			w.spins = 0
 			continue
 		}
-		// Persistent mode: an active worker with nothing to run and
-		// nothing to steal starts the next submitted job root — its own
-		// injection shard first, then siblings' in victim order.
+		// Persistent mode: nothing to run and nothing to steal — take
+		// over a submitted job root waiting in a sibling's shard.
 		if w.pickup {
-			if t := w.takeInjected(); t != nil {
+			if t := w.takeSibling(); t != nil {
 				w.runTask(t)
 				w.spins = 0
 				continue
@@ -1225,12 +1556,12 @@ func (w *worker) loop() {
 		}
 		// Bounded spin: a few yielding re-sweeps catch work that is just
 		// about to appear, then the worker commits to the parking protocol
-		// instead of burning a core on exponential sleep.
+		// instead of burning a core on exponential sleep. The yields stay
+		// inside the open search episode, so they need no clock reads of
+		// their own.
 		w.spins++
 		if w.spins < idleSpins {
-			t0 := nowNS()
 			runtime.Gosched()
-			w.addSearch(nowNS() - t0)
 			continue
 		}
 		w.spins = 0
@@ -1238,24 +1569,33 @@ func (w *worker) loop() {
 	}
 }
 
-// stealOnce probes the victim list once and executes a stolen task if any.
-// The probe sequence is allocation-free: the victim list is materialized
-// into the worker-owned victimBuf via VictimsInto (guarded by
-// TestStealOnceZeroAllocs).
-func (w *worker) stealOnce() bool {
+// workerByID resolves a core id through the dense index (hot paths only).
+// Nil for reserved cores.
+func (r *Runtime) workerByID(id topo.CoreID) *worker {
+	if int(id) >= len(r.byID) || int(id) < 0 {
+		return nil
+	}
+	return r.byID[id]
+}
+
+// stealProbe probes the victim list once, returning the stolen task or
+// nil. The probe sequence is allocation-free: the victim list is
+// materialized into the worker-owned victimBuf via VictimsInto (guarded
+// by TestStealProbeZeroAllocs). The caller owns the time accounting — the
+// worker loop charges probes to its open search episode, Sync's leapfrog
+// stamps them explicitly.
+func (w *worker) stealProbe() *rtTask {
 	b := w.rt.loadPolicy()
 	if b == nil {
-		return false
+		return nil
 	}
-	t0 := nowNS()
 	w.victimBuf = b.policy.VictimsInto(w.id, w.victimBuf[:0])
 	for _, v := range w.victimBuf {
-		vw := w.rt.workers[v]
+		vw := w.rt.workerByID(v)
 		if vw == nil {
 			continue
 		}
 		if t, ok := vw.deque.StealTop(); ok {
-			w.addSearch(nowNS() - t0)
 			atomic.AddInt64(&w.stats.Steals, 1)
 			w.emit(obs.KindSteal, int32(v), 0)
 			// Wake chaining: the victim still has work, so pass the signal
@@ -1263,47 +1603,32 @@ func (w *worker) stealOnce() bool {
 			if vw.deque.Len() > 0 {
 				vw.wakeOneThief()
 			}
-			w.runTask(t)
-			return true
+			return t
 		}
 		atomic.AddInt64(&w.stats.FailedProbes, 1)
 		w.emit(obs.KindProbeFail, int32(v), 0)
 	}
-	w.addSearch(nowNS() - t0)
-	return false
+	return nil
 }
 
-// takeInjected pulls the next submitted job root, if any: the worker's
-// own shard first (the locality Submit aimed for), then its victims'
-// shards in DVS order (injected work inherits the same tidal-flow steal
-// locality as spawned work), then every shard — the last resort that
-// rescues jobs stranded in the shard of a worker revoked after the
-// producer picked it. The aggregate queued counter gates the whole scan,
-// so at steady idle this is one atomic load.
-func (w *worker) takeInjected() *rtTask {
+// takeSibling pulls the next submitted job root from another worker's
+// injection shard: victims in DVS order first (injected work inherits the
+// same tidal-flow steal locality as spawned work), then every shard — the
+// last resort that rescues jobs stranded in the shard of a worker revoked
+// after the producer picked it. A depth check gates each pop, so the idle
+// sweep costs two loads per sibling; every successful pop releases
+// exactly one reservation against the shard it came from.
+func (w *worker) takeSibling() *rtTask {
 	r := w.rt
-	if r.queued.Load() == 0 {
-		return nil
-	}
-	if t, ok := w.shard.Pop(); ok {
-		r.queued.Add(-1)
-		// More behind it: pass the signal on before running (the same
-		// wake chaining the steal path does).
-		if w.shard.Len() > 0 {
-			w.wakeOneThief()
-		}
-		return t
-	}
-	b := r.loadPolicy()
-	if b != nil {
+	if b := r.loadPolicy(); b != nil {
 		w.victimBuf = b.policy.VictimsInto(w.id, w.victimBuf[:0])
 		for _, v := range w.victimBuf {
-			vw := r.workers[v]
-			if vw == nil || vw == w {
+			vw := r.workerByID(v)
+			if vw == nil || vw == w || vw.shard.Len() == 0 {
 				continue
 			}
 			if t, ok := vw.shard.Pop(); ok {
-				r.queued.Add(-1)
+				r.releaseSlot(vw.shard)
 				atomic.AddInt64(&w.stats.ShardSteals, 1)
 				if vw.shard.Len() > 0 {
 					vw.wakeOneThief()
@@ -1313,11 +1638,11 @@ func (w *worker) takeInjected() *rtTask {
 		}
 	}
 	for _, vw := range r.workerList {
-		if vw == w {
+		if vw == w || vw.shard.Len() == 0 {
 			continue
 		}
 		if t, ok := vw.shard.Pop(); ok {
-			r.queued.Add(-1)
+			r.releaseSlot(vw.shard)
 			atomic.AddInt64(&w.stats.ShardSteals, 1)
 			return t
 		}
@@ -1331,7 +1656,24 @@ func (w *worker) takeInjected() *rtTask {
 func (w *worker) runTask(t *rtTask) {
 	w.depth++
 	w.busy.Store(true)
-	t0 := nowNS()
+	// Phase-boundary timing: when this task follows a search episode, a
+	// single clock read both closes the episode and opens the task
+	// window; when it directly follows another task (back-to-back pops at
+	// depth 0), the previous boundary timestamp is reused and the task
+	// pays one clock read in total, at its end. The few nanoseconds of
+	// queue bookkeeping between tasks land in UsefulNS — per-task runtime
+	// overhead, not search. Nested frames (Sync inlining, leapfrog) have
+	// no boundary to reuse and read the clock.
+	var t0 int64
+	switch {
+	case w.searchT0 != 0:
+		t0 = nowNS()
+		w.closeSearch(t0)
+	case w.depth == 1 && w.phaseTS != 0:
+		t0 = w.phaseTS
+	default:
+		t0 = nowNS()
+	}
 	// Exclusive accounting: this frame's window starts with a clean
 	// exclusion accumulator; nested runTask spans and search waits add to
 	// it, and only the remainder is this task's own useful time.
@@ -1342,7 +1684,9 @@ func (w *worker) runTask(t *rtTask) {
 	ctx.joinAll()
 	w.ctxPut(ctx)
 	t.done.Store(true)
-	elapsed := nowNS() - t0
+	end := nowNS()
+	w.phaseTS = end
+	elapsed := end - t0
 	if self := elapsed - w.excluded; self > 0 {
 		atomic.AddInt64(&w.stats.UsefulNS, self)
 	}
