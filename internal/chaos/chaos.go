@@ -81,6 +81,11 @@ type Script struct {
 	QuantumUS      int64 `json:"quantum_us,omitempty"`
 	SubmitQueueCap int   `json:"submit_queue_cap"`
 	PoolQueueCap   int   `json:"pool_queue_cap,omitempty"`
+	// LocalityNodes > 1 runs the runtime under a synthetic locality split
+	// of that many nodes (topo.SplitLocality), driving the biased shard
+	// pick and the node-local-first steal sweeps through the same
+	// adversarial interleavings as the flat paths; 0/1 forces flat.
+	LocalityNodes int `json:"locality_nodes,omitempty"`
 
 	Submitters int       `json:"submitters"`
 	Jobs       []JobSpec `json:"jobs"`
@@ -349,6 +354,9 @@ func runRuntime(sc *Script, res *Result) {
 		Mesh:           topo.MustMesh(sc.MeshW, sc.MeshH),
 		Source:         topo.CoreID(sc.Source),
 		SubmitQueueCap: sc.SubmitQueueCap,
+	}
+	if sc.LocalityNodes > 1 {
+		cfg.Locality = topo.SplitLocality(sc.MeshW*sc.MeshH, sc.LocalityNodes)
 	}
 	if sc.QuantumUS > 0 {
 		cfg.Estimator = core.NewPalirria()

@@ -52,6 +52,39 @@ type Policy interface {
 	// if needed), never policy-internal storage, so steal probes that
 	// reuse a per-worker buffer do zero heap allocations at steady state.
 	VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID
+	// VictimsIntoLocality is VictimsInto with a stable physical-locality
+	// partition: victims on the same loc domain as w come first, remote
+	// victims after, each group preserving the policy's own order — the
+	// logical tiering (DVS classes, shuffle order, cyclic order) decides
+	// within a domain, the machine decides between domains. nLocal is the
+	// length of the local prefix. A nil or flat loc degrades to
+	// VictimsInto with every victim local. The same aliasing contract as
+	// VictimsInto holds: the result lives in buf's backing array, so
+	// per-worker buffers stay allocation-free at steady state.
+	VictimsIntoLocality(w topo.CoreID, loc *topo.Locality, buf []topo.CoreID) (out []topo.CoreID, nLocal int)
+}
+
+// appendLocalityPartition writes list into buf partitioned local-first
+// relative to w under loc, preserving list's order within each group.
+// Shared by every Policy implementation; two passes, no allocation
+// beyond growing buf.
+func appendLocalityPartition(list []topo.CoreID, w topo.CoreID, loc *topo.Locality, buf []topo.CoreID) ([]topo.CoreID, int) {
+	if loc == nil || loc.Flat() {
+		return append(buf, list...), len(list)
+	}
+	home := loc.Node(w)
+	for _, v := range list {
+		if loc.Node(v) == home {
+			buf = append(buf, v)
+		}
+	}
+	nLocal := len(buf)
+	for _, v := range list {
+		if loc.Node(v) != home {
+			buf = append(buf, v)
+		}
+	}
+	return buf, nLocal
 }
 
 // fallbackVictims is the maximum number of nearest-member fallback victims
@@ -195,6 +228,12 @@ func (d *DVS) VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID {
 	return append(buf, d.victims[w]...)
 }
 
+// VictimsIntoLocality implements Policy: the precomputed list, stably
+// partitioned local-first under loc.
+func (d *DVS) VictimsIntoLocality(w topo.CoreID, loc *topo.Locality, buf []topo.CoreID) ([]topo.CoreID, int) {
+	return appendLocalityPartition(d.victims[w], w, loc, buf)
+}
+
 // buildVictims assembles the ordered victim list for worker w according to
 // its class. Each tier is sorted by core id so the order is deterministic.
 func buildVictims(c *topo.Classification, w topo.CoreID) []topo.CoreID {
@@ -223,10 +262,12 @@ func buildVictims(c *topo.Classification, w topo.CoreID) []topo.CoreID {
 		out = appendTier(out, outer)
 	case cl == topo.ClassZ:
 		// Z: "steal from within their own class (diagonally left and
-		// right); only upon failing that, search the inner parts".
+		// right); only upon failing that, search the inner parts". Z
+		// workers sit in the outermost zone, so their outer tier is empty
+		// by construction — TestZClassOuterTierEmpty asserts the
+		// invariant instead of appending a known-empty tier here.
 		out = appendTier(out, ring)
 		out = appendTier(out, inner)
-		out = appendTier(out, outer) // empty by construction; kept for symmetry
 	default: // ClassF
 		// F: relocate load back inward — outer first (toward Z), then
 		// ring, then inner as last resort.
@@ -389,6 +430,19 @@ func (r *Random) VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID {
 	return buf
 }
 
+// VictimsIntoLocality implements Policy: a fresh shuffle, stably
+// partitioned local-first under loc. The worker's deterministic stream
+// advances exactly once per call, so every Victims variant remains
+// interchangeable mid-run.
+func (r *Random) VictimsIntoLocality(w topo.CoreID, loc *topo.Locality, buf []topo.CoreID) ([]topo.CoreID, int) {
+	st := r.streams[w]
+	if st == nil {
+		return buf, 0
+	}
+	shuffleCores(st.rng, st.buf)
+	return appendLocalityPartition(st.buf, w, loc, buf)
+}
+
 func shuffleCores(rng *xrand.Xoshiro256, p []topo.CoreID) {
 	for i := len(p) - 1; i > 0; i-- {
 		j := rng.Intn(i + 1)
@@ -433,4 +487,10 @@ func (rr *RoundRobin) Victims(w topo.CoreID) []topo.CoreID { return rr.lists[w] 
 // VictimsInto implements Policy: the fixed cyclic list is copied into buf.
 func (rr *RoundRobin) VictimsInto(w topo.CoreID, buf []topo.CoreID) []topo.CoreID {
 	return append(buf, rr.lists[w]...)
+}
+
+// VictimsIntoLocality implements Policy: the fixed cyclic list, stably
+// partitioned local-first under loc.
+func (rr *RoundRobin) VictimsIntoLocality(w topo.CoreID, loc *topo.Locality, buf []topo.CoreID) ([]topo.CoreID, int) {
+	return appendLocalityPartition(rr.lists[w], w, loc, buf)
 }

@@ -1,0 +1,129 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Locality groups mesh cores into physical locality domains — NUMA nodes
+// or sockets. The virtual mesh encodes the *logical* topology DVS reasons
+// about (zones, classes, hop counts); a Locality overlays the *physical*
+// machine on it, so runtimes can prefer same-node placement and order
+// steal sweeps node-local-first without changing any logical policy.
+//
+// A Locality is immutable once built and safe for concurrent use. Node
+// indices are dense, 0-based, and ordered by first appearance in the
+// input, so the same grouping always yields the same indices.
+type Locality struct {
+	nodeOf   []int
+	numNodes int
+}
+
+// NewLocality builds a locality map from a per-core node assignment:
+// nodeByCore[i] is the physical domain of core i. Raw node identifiers
+// may be arbitrary (kernel NUMA node ids are not always contiguous);
+// they are normalized to dense 0-based indices. An empty assignment
+// yields a flat single-node locality over zero cores.
+func NewLocality(nodeByCore []int) *Locality {
+	l := &Locality{nodeOf: make([]int, len(nodeByCore))}
+	dense := make(map[int]int)
+	for i, raw := range nodeByCore {
+		idx, ok := dense[raw]
+		if !ok {
+			idx = len(dense)
+			dense[raw] = idx
+		}
+		l.nodeOf[i] = idx
+	}
+	l.numNodes = len(dense)
+	if l.numNodes == 0 {
+		l.numNodes = 1
+	}
+	return l
+}
+
+// FlatLocality returns the single-node locality over n cores: every core
+// on node 0. It is the explicit "no physical topology" map — runtimes
+// treat it exactly like an undetectable machine, so it is also the knob
+// that forces the pre-locality behavior for A/B comparison.
+func FlatLocality(n int) *Locality {
+	if n < 0 {
+		n = 0
+	}
+	return &Locality{nodeOf: make([]int, n), numNodes: 1}
+}
+
+// SplitLocality returns a synthetic locality that splits n cores into
+// `nodes` contiguous, near-even domains (the first n%nodes domains get
+// the extra core). Benches and chaos scenarios use it to exercise the
+// locality paths deterministically on hosts whose real topology is flat.
+func SplitLocality(n, nodes int) *Locality {
+	if n < 0 {
+		n = 0
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > n && n > 0 {
+		nodes = n
+	}
+	l := &Locality{nodeOf: make([]int, n), numNodes: nodes}
+	if n == 0 {
+		l.numNodes = 1
+		return l
+	}
+	base, extra := n/nodes, n%nodes
+	core := 0
+	for node := 0; node < nodes; node++ {
+		size := base
+		if node < extra {
+			size++
+		}
+		for i := 0; i < size; i++ {
+			l.nodeOf[core] = node
+			core++
+		}
+	}
+	return l
+}
+
+// NumNodes returns the number of distinct locality domains (>= 1).
+func (l *Locality) NumNodes() int { return l.numNodes }
+
+// NumCores returns the number of cores the map covers.
+func (l *Locality) NumCores() int { return len(l.nodeOf) }
+
+// Flat reports whether the locality carries no useful distinction — one
+// domain (or none), where every core is local to every other.
+func (l *Locality) Flat() bool { return l.numNodes <= 1 }
+
+// Node returns the locality domain of core id. Cores outside the map
+// (a virtual mesh larger than the physical machine) report domain 0: an
+// unpinnable floating worker has no meaningful home node, and folding it
+// into the first domain keeps every index in [0, NumNodes()).
+func (l *Locality) Node(id CoreID) int {
+	if id < 0 || int(id) >= len(l.nodeOf) {
+		return 0
+	}
+	return l.nodeOf[id]
+}
+
+// SameNode reports whether cores a and b share a locality domain.
+func (l *Locality) SameNode(a, b CoreID) bool { return l.Node(a) == l.Node(b) }
+
+// NodeCores returns the cores of domain node, in ascending id order.
+func (l *Locality) NodeCores(node int) []CoreID {
+	var out []CoreID
+	for i, n := range l.nodeOf {
+		if n == node {
+			out = append(out, CoreID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String describes the map, e.g. "locality 8 cores / 2 nodes".
+func (l *Locality) String() string {
+	return fmt.Sprintf("locality %d cores / %d nodes", len(l.nodeOf), l.numNodes)
+}

@@ -1,0 +1,96 @@
+package topo
+
+import "testing"
+
+func TestNewLocalityNormalizesNodeIDs(t *testing.T) {
+	// Raw kernel node ids may be sparse and in any order; they become
+	// dense 0-based indices by first appearance.
+	l := NewLocality([]int{7, 7, 3, 7, 3, 12})
+	if l.NumCores() != 6 {
+		t.Fatalf("NumCores = %d, want 6", l.NumCores())
+	}
+	if l.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", l.NumNodes())
+	}
+	want := []int{0, 0, 1, 0, 1, 2}
+	for i, w := range want {
+		if got := l.Node(CoreID(i)); got != w {
+			t.Fatalf("Node(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if l.Flat() {
+		t.Fatal("3-node map reported flat")
+	}
+}
+
+func TestNewLocalityEmptyIsFlat(t *testing.T) {
+	l := NewLocality(nil)
+	if !l.Flat() || l.NumNodes() != 1 || l.NumCores() != 0 {
+		t.Fatalf("empty locality: flat=%v nodes=%d cores=%d", l.Flat(), l.NumNodes(), l.NumCores())
+	}
+}
+
+func TestFlatLocality(t *testing.T) {
+	l := FlatLocality(8)
+	if !l.Flat() || l.NumNodes() != 1 || l.NumCores() != 8 {
+		t.Fatalf("flat(8): flat=%v nodes=%d cores=%d", l.Flat(), l.NumNodes(), l.NumCores())
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if !l.SameNode(CoreID(i), CoreID(j)) {
+				t.Fatalf("flat map separates %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSplitLocality(t *testing.T) {
+	// 8 cores over 3 nodes: sizes 3,3,2 (first n%nodes domains get the
+	// extra core), contiguous runs.
+	l := SplitLocality(8, 3)
+	if l.NumNodes() != 3 || l.NumCores() != 8 {
+		t.Fatalf("split(8,3): nodes=%d cores=%d", l.NumNodes(), l.NumCores())
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := l.Node(CoreID(i)); got != w {
+			t.Fatalf("Node(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := l.NodeCores(1); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("NodeCores(1) = %v, want [3 4 5]", got)
+	}
+}
+
+func TestSplitLocalityClamps(t *testing.T) {
+	if l := SplitLocality(4, 9); l.NumNodes() != 4 {
+		t.Fatalf("nodes clamp to core count: got %d, want 4", l.NumNodes())
+	}
+	if l := SplitLocality(4, 0); !l.Flat() {
+		t.Fatal("zero nodes must clamp to flat")
+	}
+	if l := SplitLocality(0, 3); !l.Flat() || l.NumCores() != 0 {
+		t.Fatal("zero cores must be flat and empty")
+	}
+	if l := SplitLocality(5, 1); !l.Flat() {
+		t.Fatal("single node is flat")
+	}
+}
+
+func TestLocalityNodeOutOfRange(t *testing.T) {
+	// Cores beyond the map (virtual mesh larger than the machine) fold
+	// into domain 0, keeping indices valid for byNode-style tables.
+	l := SplitLocality(4, 2)
+	if got := l.Node(CoreID(99)); got != 0 {
+		t.Fatalf("out-of-range core node = %d, want 0", got)
+	}
+	if got := l.Node(CoreID(-1)); got != 0 {
+		t.Fatalf("negative core node = %d, want 0", got)
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	if s := SplitLocality(8, 2).String(); s != "locality 8 cores / 2 nodes" {
+		t.Fatalf("String() = %q", s)
+	}
+}

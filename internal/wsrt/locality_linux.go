@@ -1,0 +1,99 @@
+//go:build linux && (amd64 || arm64 || 386 || arm)
+
+package wsrt
+
+import (
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Physical-locality detection, Linux: the kernel's getcpu(2) reports the
+// (cpu, NUMA node) pair the calling thread is running on. The stdlib
+// syscall package does not export SYS_GETCPU, so the number is pinned per
+// architecture here (x/sys/unix would export it, but the runtime carries
+// no dependencies).
+var sysGetcpu = map[string]uintptr{
+	"amd64": 309, "arm64": 168, "386": 318, "arm": 345,
+}[runtime.GOARCH]
+
+// getcpu returns the CPU and NUMA node the calling thread is on.
+func getcpu() (cpu, node int, ok bool) {
+	var c, n uint32
+	_, _, errno := syscall.RawSyscall(sysGetcpu,
+		uintptr(unsafe.Pointer(&c)), uintptr(unsafe.Pointer(&n)), 0)
+	if errno != 0 {
+		return 0, 0, false
+	}
+	return int(c), int(n), true
+}
+
+// currentCPU reports the CPU the calling goroutine's thread is running on
+// right now — the "last-run CPU" pickShard's locality bias keys on. -1
+// when undetectable. The goroutine may migrate the instant this returns;
+// that is fine, the result steers placement, never correctness.
+func currentCPU() int {
+	if cpu, _, ok := getcpu(); ok {
+		return cpu
+	}
+	return -1
+}
+
+var (
+	physOnce  sync.Once
+	physNodes []int
+)
+
+// physCPUNodes returns the physical cpu -> NUMA node table of the host,
+// detected once per process, or nil when the host is single-node or the
+// probe fails (the graceful flat fallback). Detection pins the calling
+// thread to each CPU in turn and asks getcpu which node it landed on —
+// the same sched_setaffinity mechanism the workers use for pinning, so a
+// host that cannot pin cannot claim locality either.
+func physCPUNodes() []int {
+	physOnce.Do(func() { physNodes = detectCPUNodes(runtime.NumCPU()) })
+	return physNodes
+}
+
+func detectCPUNodes(ncpu int) []int {
+	if ncpu < 2 {
+		return nil
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	// Save the thread's affinity mask and restore it on the way out: the
+	// probe must not leave the caller pinned to the last CPU it visited.
+	var saved [16]uint64
+	if _, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(saved)*8), uintptr(unsafe.Pointer(&saved[0]))); errno != 0 {
+		return nil
+	}
+	defer syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(saved)*8), uintptr(unsafe.Pointer(&saved[0])))
+
+	nodes := make([]int, ncpu)
+	multi := false
+	for cpu := 0; cpu < ncpu; cpu++ {
+		var mask [16]uint64
+		mask[cpu/64] = 1 << (uint(cpu) % 64)
+		if _, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+			0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0]))); errno != 0 {
+			return nil // offline or forbidden CPU: no trustworthy map
+		}
+		// sched_setaffinity migrates the thread before returning, so
+		// getcpu now answers for exactly this CPU.
+		c, n, ok := getcpu()
+		if !ok || c != cpu {
+			return nil
+		}
+		nodes[cpu] = n
+		if n != nodes[0] {
+			multi = true
+		}
+	}
+	if !multi {
+		return nil // single-node host: flat, the locality paths stay cold
+	}
+	return nodes
+}

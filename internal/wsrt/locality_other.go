@@ -1,0 +1,14 @@
+//go:build !linux || !(amd64 || arm64 || 386 || arm)
+
+package wsrt
+
+// Physical-locality detection is Linux-only (getcpu(2) +
+// sched_setaffinity); everywhere else the runtime degrades gracefully to
+// the flat single-node behavior — identical scheduling to the
+// pre-locality code.
+
+// currentCPU is undetectable off Linux.
+func currentCPU() int { return -1 }
+
+// physCPUNodes reports no physical topology off Linux.
+func physCPUNodes() []int { return nil }

@@ -209,35 +209,50 @@ func TestBacklogGaugeNeverNegativeHammer(t *testing.T) {
 // fresh (capacity is the ledger's job); this test is what the contract
 // in pickShard's doc comment points at.
 func TestPickShardPrefersShallower(t *testing.T) {
-	rt, err := New(Config{Mesh: topo.MustMesh(4, 1), Source: 0, InitialDiaspora: 10, SubmitQueueCap: 64})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Not started: pickShard only needs the policy bundle New installed.
-	b := rt.loadPolicy()
-	if b == nil || len(b.members) != 4 {
-		t.Fatalf("expected a 4-member policy bundle, got %+v", b)
-	}
-	deep := b.members[0]
-	for i := 0; i < 16; i++ {
-		if !deep.shard.Push(&rtTask{fn: func(*Ctx) {}}) {
-			t.Fatal("seeding the deep shard failed")
-		}
-	}
-	const trials = 4000
-	deepPicks := 0
-	for i := 0; i < trials; i++ {
-		if rt.pickShard(b) == deep {
-			deepPicks++
-		}
-	}
-	// Expected ~ trials/n² = 250; a uniform pick would give trials/n =
-	// 1000. The threshold sits at trials/8 = 500 — more than 16 standard
-	// deviations above the p2c expectation, unreachable by noise, and
-	// half of what a depth-blind pick would produce.
-	if deepPicks >= trials/8 {
-		t.Fatalf("deep shard picked %d/%d times; p2c should avoid it (expected ~%d, uniform would be %d)",
-			deepPicks, trials, trials/16, trials/4)
+	// The member counts cover a power of two and two non-powers-of-two:
+	// the old `seq % n` candidate reduction was modulo-biased toward low
+	// indices for non-power-of-two n; Lemire's multiply-shift reduction is
+	// exactly uniform for every n, so the p2c bound below holds across the
+	// table. FlatLocality pins the global p2c path regardless of the
+	// machine the test runs on.
+	for _, n := range []int{3, 4, 6} {
+		n := n
+		t.Run(fmt.Sprintf("members=%d", n), func(t *testing.T) {
+			rt, err := New(Config{
+				Mesh: topo.MustMesh(n, 1), Source: 0, InitialDiaspora: 10,
+				SubmitQueueCap: 64, Locality: topo.FlatLocality(n),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Not started: pickShard only needs the policy bundle New installed.
+			b := rt.loadPolicy()
+			if b == nil || len(b.members) != n {
+				t.Fatalf("expected a %d-member policy bundle, got %+v", n, b)
+			}
+			deep := b.members[0]
+			for i := 0; i < 16; i++ {
+				if !deep.shard.Push(&rtTask{fn: func(*Ctx) {}}) {
+					t.Fatal("seeding the deep shard failed")
+				}
+			}
+			const trials = 4000
+			deepPicks := 0
+			for i := 0; i < trials; i++ {
+				if rt.pickShard(b) == deep {
+					deepPicks++
+				}
+			}
+			// Expected ~ trials/n²; a depth-blind uniform pick would give
+			// trials/n. The threshold is the midpoint of the two — 20+
+			// standard deviations above the p2c expectation for every n in
+			// the table, unreachable by noise, yet decisively below uniform.
+			threshold := (trials/(n*n) + trials/n) / 2
+			if deepPicks >= threshold {
+				t.Fatalf("deep shard picked %d/%d times; p2c should avoid it (expected ~%d, uniform would be %d)",
+					deepPicks, trials, trials/(n*n), trials/n)
+			}
+		})
 	}
 }
 
