@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"palirria/internal/serve"
 	"palirria/internal/topo"
+	"palirria/internal/workload"
 	"palirria/internal/wsrt"
 )
 
@@ -57,6 +60,29 @@ type wsrtBenchReport struct {
 	// node-local-first ordering keeps on-node; the flat tier doubles as
 	// the regression reference proving locality stays opt-in-safe.
 	LocalitySteal []localityStealTier `json:"locality_steal"`
+	// DAGWorkloads drives the registered structured-job workloads through
+	// serve.Pool.SubmitDAG — dependency release riding the terminal-event
+	// hook — and reports the estimator's view of each graph storm. The
+	// field is additive: baselines written before it exist gate nothing.
+	DAGWorkloads []dagWorkloadTier `json:"dag_workloads,omitempty"`
+}
+
+// dagWorkloadTier is one DAG workload's storm: Graphs whole graphs of
+// Nodes nodes each pushed through SubmitDAG by a few producers. Peak
+// desire and allotment are sampled while the storm runs, so the tier
+// shows the estimation loop reacting to dependency-released work rather
+// than flat submit pressure. When the tier ran more than once the
+// reported numbers are the median repetition by nodes/sec.
+type dagWorkloadTier struct {
+	Workload           string    `json:"workload"`
+	Graphs             int       `json:"graphs"`
+	Nodes              int       `json:"nodes"` // per graph
+	WallNS             int64     `json:"wall_ns"`
+	NodesPerSec        float64   `json:"nodes_per_sec"`
+	PeakDesire         int       `json:"peak_desire"`
+	PeakAllotment      int       `json:"peak_allotment"`
+	Capacity           int       `json:"capacity"`
+	SamplesNodesPerSec []float64 `json:"samples_nodes_per_sec,omitempty"`
 }
 
 // localityStealTier is one arm of the locality A/B comparison. Steal
@@ -120,6 +146,9 @@ func wsrtBench(path, baseline string, count int) error {
 	if err := benchLocalitySteal(&rep, count); err != nil {
 		return err
 	}
+	if err := benchDAGWorkloads(&rep, count); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -145,6 +174,11 @@ func wsrtBench(path, baseline string, count int) error {
 	for _, tier := range rep.LocalitySteal {
 		fmt.Printf("  locality steal [%8s]: %.0f jobs/sec, steals local=%d remote=%d (local share %.2f)\n",
 			tier.Policy, tier.JobsPerSec, tier.LocalSteals, tier.RemoteSteals, tier.LocalShare)
+	}
+	for _, tier := range rep.DAGWorkloads {
+		fmt.Printf("  dag workload [%9s]: %.0f nodes/sec over %d graphs x %d nodes, peak desire=%d allot=%d cap=%d\n",
+			tier.Workload, tier.NodesPerSec, tier.Graphs, tier.Nodes,
+			tier.PeakDesire, tier.PeakAllotment, tier.Capacity)
 	}
 	if baseline != "" {
 		if err := checkBenchBaseline(&rep, baseline); err != nil {
@@ -192,6 +226,22 @@ func checkBenchBaseline(rep *wsrtBenchReport, path string) error {
 		if tier.JobsPerSec*2 < ref.JobsPerSec {
 			return fmt.Errorf("bench baseline: %s locality tier regressed >2x: %.0f jobs/sec vs baseline %.0f",
 				tier.Policy, tier.JobsPerSec, ref.JobsPerSec)
+		}
+	}
+	// DAG tiers match by workload name; a baseline committed before the
+	// tier existed simply has no entry and gates nothing.
+	byWorkload := make(map[string]dagWorkloadTier, len(old.DAGWorkloads))
+	for _, tier := range old.DAGWorkloads {
+		byWorkload[tier.Workload] = tier
+	}
+	for _, tier := range rep.DAGWorkloads {
+		ref, ok := byWorkload[tier.Workload]
+		if !ok || ref.NodesPerSec <= 0 {
+			continue
+		}
+		if tier.NodesPerSec*2 < ref.NodesPerSec {
+			return fmt.Errorf("bench baseline: %s DAG tier regressed >2x: %.0f nodes/sec vs baseline %.0f",
+				tier.Workload, tier.NodesPerSec, ref.NodesPerSec)
 		}
 	}
 	return nil
@@ -502,6 +552,136 @@ func benchLocalityTier(policy string, loc *topo.Locality) (localityStealTier, er
 	}
 	if tier.WallNS > 0 {
 		tier.JobsPerSec = float64(jobs) / (float64(tier.WallNS) / 1e9)
+	}
+	return tier, nil
+}
+
+// benchDAGWorkloads storms each registered DAG workload through a
+// serving pool: several producers each submit whole graphs with
+// SubmitDAG, so the runtime sees work arrive in dependency-released
+// ripples instead of a flat stream. A sampler polls the pool's stats
+// while the storm runs and keeps the peak desire and allotment the
+// estimator reported — the numbers that show Palirria's estimation loop
+// tracking structured parallelism. Each workload repeats count times and
+// the median repetition by nodes/sec is reported.
+func benchDAGWorkloads(rep *wsrtBenchReport, count int) error {
+	if count < 1 {
+		count = 1
+	}
+	for _, name := range []string{"pipeline", "mapreduce"} {
+		reps := make([]dagWorkloadTier, 0, count)
+		for i := 0; i < count; i++ {
+			tier, err := benchDAGTier(name)
+			if err != nil {
+				return err
+			}
+			reps = append(reps, tier)
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i].NodesPerSec < reps[j].NodesPerSec })
+		tier := reps[len(reps)/2]
+		if count > 1 {
+			tier.SamplesNodesPerSec = make([]float64, 0, count)
+			for _, r := range reps {
+				tier.SamplesNodesPerSec = append(tier.SamplesNodesPerSec, r.NodesPerSec)
+			}
+		}
+		rep.DAGWorkloads = append(rep.DAGWorkloads, tier)
+	}
+	return nil
+}
+
+func benchDAGTier(name string) (dagWorkloadTier, error) {
+	const (
+		graphs    = 24
+		producers = 4
+	)
+	def, err := workload.GetDAG(name)
+	if err != nil {
+		return dagWorkloadTier{}, err
+	}
+	stages := def.Stages(workload.Simulator)
+	tier := dagWorkloadTier{Workload: name, Graphs: graphs, Nodes: len(stages)}
+	// The pool queue holds every concurrently-admitted node (DAG nodes
+	// keep their slot until they resolve); the runtime's submit ring is
+	// sized past it so dependency-released successors never bounce.
+	p, err := serve.New(serve.Config{
+		Name: "bench-" + name,
+		Runtime: wsrt.Config{
+			Mesh: topo.MustMesh(4, 2), Source: 0, InitialDiaspora: 10,
+			SubmitQueueCap: 1024,
+		},
+		QueueCap: graphs * len(stages),
+	})
+	if err != nil {
+		return tier, err
+	}
+	// Sample the estimator while the storm runs: desire and allotment
+	// both decay once the graphs drain, so end-of-run stats alone would
+	// under-report the loop's reaction.
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		t := time.NewTicker(500 * time.Microsecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				st := p.Stats()
+				if st.Desire > tier.PeakDesire {
+					tier.PeakDesire = st.Desire
+				}
+				if st.Allotment > tier.PeakAllotment {
+					tier.PeakAllotment = st.Allotment
+				}
+			}
+		}
+	}()
+	var submitErr atomic.Value
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for g := pr; g < graphs; g += producers {
+				nodes := make([]serve.DAGNode, len(stages))
+				for i, st := range stages {
+					nodes[i] = serve.DAGNode{Fn: wsrt.SpecFunc(st.Build()), Deps: st.Deps}
+				}
+				errs, err := p.SubmitDAG(context.Background(), nodes)
+				if err != nil {
+					submitErr.Store(err)
+					return
+				}
+				for _, e := range errs {
+					if e != nil {
+						submitErr.Store(e)
+						return
+					}
+				}
+			}
+		}(pr)
+	}
+	wg.Wait()
+	tier.WallNS = time.Since(t0).Nanoseconds()
+	close(stop)
+	sampler.Wait()
+	tier.Capacity = p.Capacity()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	err = p.Drain(ctx)
+	cancel()
+	if err != nil {
+		return tier, err
+	}
+	if err, ok := submitErr.Load().(error); ok {
+		return tier, fmt.Errorf("dag tier %s: %w", name, err)
+	}
+	if tier.WallNS > 0 {
+		tier.NodesPerSec = float64(graphs*len(stages)) / (float64(tier.WallNS) / 1e9)
 	}
 	return tier, nil
 }

@@ -58,13 +58,21 @@ func main() {
 	fanout := flag.Int("fanout", 64, "leaves per job")
 	work := flag.Int("work", 20000, "synthetic cycles per leaf")
 	batch := flag.Int("batch", 1, "jobs per request via /submit?count= batch admission; each tick still fires one request")
+	dag := flag.String("dag", "", "submit structured job graphs through POST /submit-dag using this DAG workload (pipeline, mapreduce) instead of plain fans")
+	class := flag.String("class", "", "priority class attached to every submission: low, normal or high (empty: server default)")
+	deadline := flag.Duration("deadline", 0, "start deadline attached to every submission, e.g. 50ms (0: none)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	watch := flag.Bool("watch", false, "consume the server's /events SSE stream and print live per-pool completion/desire tables")
 	watchInterval := flag.Duration("watch-interval", time.Second, "live table refresh period in -watch mode")
+	watchTimeout := flag.Duration("watch-timeout", 30*time.Second, "exit non-zero when the -watch /events stream goes completely silent for this long (server heartbeats count as liveness; 0 disables)")
 	flag.Parse()
 
 	if *batch < 1 {
 		fmt.Fprintln(os.Stderr, "palirria-load: -batch must be >= 1")
+		os.Exit(2)
+	}
+	if *dag != "" && *batch > 1 {
+		fmt.Fprintln(os.Stderr, "palirria-load: -dag and -batch are mutually exclusive")
 		os.Exit(2)
 	}
 	ws, err := parseWaves(*waves)
@@ -84,14 +92,17 @@ func main() {
 			// the cluster membership table is the live view instead.
 			cw = startClusterWatch(*router, *watchInterval, os.Stdout)
 		} else {
-			w, err = startWatch(*target, *tenant, *watchInterval, os.Stdout)
+			w, err = startWatch(*target, *tenant, *watchInterval, *watchTimeout, os.Stdout)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "palirria-load: watch:", err)
 				os.Exit(2)
 			}
 		}
 	}
-	res := run(submitTarget, *tenant, ws, *fanout, *work, *batch, *timeout, os.Stdout)
+	res := run(submitTarget, *tenant, ws, submitOpts{
+		fanout: *fanout, work: *work, batch: *batch,
+		dag: *dag, class: *class, deadline: *deadline,
+	}, *timeout, os.Stdout)
 	var watchErr error
 	if w != nil {
 		watchErr = w.stop()
@@ -226,16 +237,47 @@ func (r *result) print(w io.Writer) {
 		pct(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
 }
 
+// submitOpts shapes what each arrival submits: a plain fan (optionally
+// batched), or — with dag set — a structured job graph via /submit-dag.
+// class and deadline ride along as query parameters on either path.
+type submitOpts struct {
+	fanout, work, batch int
+	dag                 string        // DAG workload name; "" submits plain fans
+	class               string        // priority class (low, normal, high)
+	deadline            time.Duration // per-job start deadline (0: none)
+}
+
+// submitURL renders the submission endpoint for target/tenant.
+func (o submitOpts) submitURL(target, tenant string) string {
+	base := strings.TrimRight(target, "/")
+	var u string
+	if o.dag != "" {
+		u = fmt.Sprintf("%s/submit-dag?workload=%s", base, url.QueryEscape(o.dag))
+		if o.work > 0 {
+			u += fmt.Sprintf("&work=%d", o.work)
+		}
+	} else {
+		u = fmt.Sprintf("%s/submit?fanout=%d&work=%d", base, o.fanout, o.work)
+		if o.batch > 1 {
+			u += fmt.Sprintf("&count=%d", o.batch)
+		}
+	}
+	if tenant != "" {
+		u += "&tenant=" + url.QueryEscape(tenant)
+	}
+	if o.class != "" {
+		u += "&class=" + url.QueryEscape(o.class)
+	}
+	if o.deadline > 0 {
+		u += "&deadline=" + url.QueryEscape(o.deadline.String())
+	}
+	return u
+}
+
 // run fires the wave sequence at target and waits for every outstanding
 // request before returning.
-func run(target, tenant string, waves []wave, fanout, work, batch int, timeout time.Duration, log io.Writer) *result {
-	submitURL := fmt.Sprintf("%s/submit?fanout=%d&work=%d", strings.TrimRight(target, "/"), fanout, work)
-	if tenant != "" {
-		submitURL += "&tenant=" + url.QueryEscape(tenant)
-	}
-	if batch > 1 {
-		submitURL += fmt.Sprintf("&count=%d", batch)
-	}
+func run(target, tenant string, waves []wave, opt submitOpts, timeout time.Duration, log io.Writer) *result {
+	submitURL := opt.submitURL(target, tenant)
 	client := &http.Client{Timeout: timeout}
 	res := &result{}
 	var wg sync.WaitGroup
@@ -261,13 +303,16 @@ waves:
 					res.record(0, 0, err)
 					return
 				}
-				if batch > 1 && resp.StatusCode == http.StatusOK {
+				if (opt.batch > 1 || opt.dag != "") && resp.StatusCode == http.StatusOK {
 					var rep struct {
 						Completed int64 `json:"completed"`
 						Rejected  int64 `json:"rejected"`
+						Cancelled int64 `json:"cancelled"`
 					}
 					if json.NewDecoder(resp.Body).Decode(&rep) == nil {
-						res.recordBatch(rep.Completed, rep.Rejected)
+						// A DAG reply reports cancelled nodes where a batch
+						// reply reports rejections; both are non-completions.
+						res.recordBatch(rep.Completed, rep.Rejected+rep.Cancelled)
 					}
 				}
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck

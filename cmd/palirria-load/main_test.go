@@ -50,7 +50,7 @@ func TestRunAgainstStub(t *testing.T) {
 	defer ts.Close()
 
 	ws := []wave{{name: "t", rps: 200, dur: 100 * time.Millisecond}}
-	res := run(ts.URL, "web", ws, 8, 100, 1, 2*time.Second, io.Discard)
+	res := run(ts.URL, "web", ws, submitOpts{fanout: 8, work: 100, batch: 1}, 2*time.Second, io.Discard)
 	total := res.ok + res.shed + res.unavail + res.failed
 	if total == 0 {
 		t.Fatal("no requests fired")
@@ -80,12 +80,64 @@ func TestRunBatchAgainstStub(t *testing.T) {
 	defer ts.Close()
 
 	ws := []wave{{name: "t", rps: 100, dur: 50 * time.Millisecond}}
-	res := run(ts.URL, "", ws, 8, 100, 4, 2*time.Second, io.Discard)
+	res := run(ts.URL, "", ws, submitOpts{fanout: 8, work: 100, batch: 4}, 2*time.Second, io.Discard)
 	if res.ok == 0 || res.failed != 0 {
 		t.Fatalf("ok=%d failed=%d", res.ok, res.failed)
 	}
 	if res.jobsDone != 3*res.ok || res.jobsRej != res.ok {
 		t.Fatalf("batch folding: jobsDone=%d jobsRej=%d over %d replies", res.jobsDone, res.jobsRej, res.ok)
+	}
+	res.print(io.Discard)
+}
+
+func TestSubmitURL(t *testing.T) {
+	for _, tc := range []struct {
+		opt    submitOpts
+		tenant string
+		want   string
+	}{
+		{submitOpts{fanout: 8, work: 100, batch: 1}, "",
+			"http://x/submit?fanout=8&work=100"},
+		{submitOpts{fanout: 8, work: 100, batch: 4}, "web",
+			"http://x/submit?fanout=8&work=100&count=4&tenant=web"},
+		{submitOpts{dag: "pipeline", work: 500}, "",
+			"http://x/submit-dag?workload=pipeline&work=500"},
+		{submitOpts{dag: "mapreduce", class: "high", deadline: 250 * time.Millisecond}, "web",
+			"http://x/submit-dag?workload=mapreduce&tenant=web&class=high&deadline=250ms"},
+		{submitOpts{fanout: 4, work: 10, batch: 1, class: "normal", deadline: time.Second}, "",
+			"http://x/submit?fanout=4&work=10&class=normal&deadline=1s"},
+	} {
+		if got := tc.opt.submitURL("http://x/", tc.tenant); got != tc.want {
+			t.Errorf("submitURL(%+v, %q) = %q, want %q", tc.opt, tc.tenant, got, tc.want)
+		}
+	}
+}
+
+func TestRunDAGAgainstStub(t *testing.T) {
+	// In DAG mode every request posts a whole graph to /submit-dag and the
+	// client folds the per-node completed/cancelled counts out of the reply.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/submit-dag" {
+			http.Error(w, "wrong path "+r.URL.Path, http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		if q.Get("workload") != "pipeline" || q.Get("class") != "high" || q.Get("deadline") != "1s" {
+			http.Error(w, "missing params "+r.URL.RawQuery, http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(`{"tenant":"default","workload":"pipeline","nodes":6,"completed":5,"cancelled":1,"latency_ns":1}`))
+	}))
+	defer ts.Close()
+
+	ws := []wave{{name: "t", rps: 100, dur: 50 * time.Millisecond}}
+	opt := submitOpts{dag: "pipeline", class: "high", deadline: time.Second}
+	res := run(ts.URL, "", ws, opt, 2*time.Second, io.Discard)
+	if res.ok == 0 || res.failed != 0 {
+		t.Fatalf("ok=%d failed=%d", res.ok, res.failed)
+	}
+	if res.jobsDone != 5*res.ok || res.jobsRej != res.ok {
+		t.Fatalf("DAG folding: jobsDone=%d jobsRej=%d over %d replies", res.jobsDone, res.jobsRej, res.ok)
 	}
 	res.print(io.Discard)
 }
@@ -103,7 +155,7 @@ func TestRunAbortsOnRefusedConnection(t *testing.T) {
 		{name: "never", rps: 200, dur: 10 * time.Second},
 	}
 	start := time.Now()
-	res := run(ts.URL, "", ws, 8, 100, 1, 2*time.Second, io.Discard)
+	res := run(ts.URL, "", ws, submitOpts{fanout: 8, work: 100, batch: 1}, 2*time.Second, io.Discard)
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("run kept hammering a refused target instead of aborting")
 	}
@@ -127,7 +179,7 @@ func TestRunNoAbortOnHealthyTarget(t *testing.T) {
 	}))
 	defer ts.Close()
 	ws := []wave{{name: "t", rps: 100, dur: 50 * time.Millisecond}}
-	res := run(ts.URL, "", ws, 8, 100, 1, 2*time.Second, io.Discard)
+	res := run(ts.URL, "", ws, submitOpts{fanout: 8, work: 100, batch: 1}, 2*time.Second, io.Discard)
 	if err := res.abortReason(); err != nil {
 		t.Fatalf("healthy run aborted: %v", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"palirria/internal/obs/stream"
@@ -80,6 +81,11 @@ type watcher struct {
 	done   chan struct{}
 	log    io.Writer
 
+	// lastFrame is the wall-clock nanosecond of the last sign of life on
+	// the stream — any frame, comment heartbeats included. The watchdog
+	// compares it against the silence timeout.
+	lastFrame atomic.Int64
+
 	mu     sync.Mutex
 	pools  map[string]*poolWatch
 	drops  int64 // events the server dropped for us (drop frames)
@@ -88,8 +94,12 @@ type watcher struct {
 }
 
 // startWatch opens the SSE subscription and begins consuming. The
-// returned watcher must be stopped; stop reports any malformed frame.
-func startWatch(target, tenant string, interval time.Duration, log io.Writer) (*watcher, error) {
+// returned watcher must be stopped; stop reports any malformed frame. A
+// timeout > 0 arms a watchdog: if the stream stays completely silent —
+// no events and no comment heartbeats — for that long, the subscription
+// is torn down and stop reports the stall (palirria-serve heartbeats
+// every few seconds even when idle, so a healthy stream is never mute).
+func startWatch(target, tenant string, interval, timeout time.Duration, log io.Writer) (*watcher, error) {
 	url := strings.TrimRight(target, "/") + "/events"
 	if tenant != "" {
 		url += "?tenant=" + tenant
@@ -117,21 +127,59 @@ func startWatch(target, tenant string, interval time.Duration, log io.Writer) (*
 		log:    log,
 		pools:  map[string]*poolWatch{},
 	}
+	w.lastFrame.Store(time.Now().UnixNano())
 	go func() {
 		defer close(w.done)
 		defer resp.Body.Close()
 		if err := consumeSSE(resp.Body, w.handle); err != nil {
 			w.mu.Lock()
-			w.err = err
+			if w.err == nil { // a watchdog stall verdict wins over the unwind
+				w.err = err
+			}
 			w.mu.Unlock()
 		}
 	}()
 	go w.printLoop(interval)
+	if timeout > 0 {
+		go w.watchdog(timeout)
+	}
 	return w, nil
+}
+
+// watchdog tears the subscription down if the stream goes silent past
+// timeout; the stall becomes the watcher's error so the run exits
+// non-zero.
+func (w *watcher) watchdog(timeout time.Duration) {
+	tick := timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			since := time.Since(time.Unix(0, w.lastFrame.Load()))
+			if since <= timeout {
+				continue
+			}
+			w.mu.Lock()
+			if w.err == nil {
+				w.err = fmt.Errorf("event stream silent for %s (watch timeout %s, heartbeats count as liveness)",
+					since.Round(time.Millisecond), timeout)
+			}
+			w.mu.Unlock()
+			w.cancel()
+			return
+		}
+	}
 }
 
 // handle folds one frame into the live counters.
 func (w *watcher) handle(f sseFrame) error {
+	w.lastFrame.Store(time.Now().UnixNano())
 	if f.comment {
 		return nil // heartbeat
 	}

@@ -81,7 +81,7 @@ func TestWatcherAccumulatesAndPrints(t *testing.T) {
 	defer ts.Close()
 
 	var out bytes.Buffer
-	w, err := startWatch(ts.URL, "", time.Hour, &out)
+	w, err := startWatch(ts.URL, "", time.Hour, time.Hour, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestWatcherFailsOnKindMismatch(t *testing.T) {
 	})
 	defer ts.Close()
 	var out bytes.Buffer
-	w, err := startWatch(ts.URL, "", time.Hour, &out)
+	w, err := startWatch(ts.URL, "", time.Hour, time.Hour, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,5 +144,80 @@ func TestWatcherFailsOnKindMismatch(t *testing.T) {
 	}
 	if err := w.stop(); err == nil || !strings.Contains(err.Error(), "does not match") {
 		t.Fatalf("err = %v, want kind-mismatch error", err)
+	}
+}
+
+// TestWatcherFailsOnSilentStream points the watcher at an /events handler
+// that answers the subscription and then goes completely mute — no frames,
+// no comment heartbeats. The watchdog must tear the stream down and stop
+// must report the stall (palirria-load exits non-zero on it).
+func TestWatcherFailsOnSilentStream(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // stalled: never writes a byte again
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	w, err := startWatch(ts.URL, "", time.Hour, 150*time.Millisecond, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired on a silent stream")
+	}
+	if err := w.stop(); err == nil || !strings.Contains(err.Error(), "silent") {
+		t.Fatalf("err = %v, want silent-stream watch-timeout error", err)
+	}
+}
+
+// TestWatcherHeartbeatsKeepWatchdogQuiet pins the liveness definition:
+// comment heartbeats alone — no real events — must keep the watchdog from
+// firing for well past the timeout.
+func TestWatcherHeartbeatsKeepWatchdogQuiet(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fl.Flush()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprint(w, ": heartbeat\n\n")
+				fl.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	w, err := startWatch(ts.URL, "", time.Hour, 750*time.Millisecond, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w.done:
+		t.Fatal("watchdog killed a stream that was heartbeating")
+	case <-time.After(2 * time.Second):
+	}
+	w.mu.Lock()
+	stallErr := w.err
+	w.mu.Unlock()
+	if stallErr != nil {
+		t.Fatalf("watchdog recorded %v against a live stream", stallErr)
+	}
+	// Heartbeats are liveness, not events: stop still reports the empty run.
+	if err := w.stop(); err == nil || !strings.Contains(err.Error(), "no events") {
+		t.Fatalf("err = %v, want no-events error", err)
 	}
 }

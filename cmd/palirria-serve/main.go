@@ -18,6 +18,8 @@
 //	GET  /events?kind=&job=&tenant=           live SSE event stream
 //	POST /submit?tenant=&fanout=&work=        run one job, reply when done
 //	POST /submit?count=N&...                  run N jobs via batch admission
+//	POST /submit?class=&deadline=&...         priority class / start deadline
+//	POST /submit-dag?workload=&tenant=&...    run one structured job graph
 //	POST /drain                               drain all pools, then exit 0
 //
 // With -cluster-addr the daemon joins a gossip cluster: it periodically
@@ -39,10 +41,16 @@
 // retrying spooler.
 //
 // Submit replies 200 on completion, 429 while the pool sheds load or its
-// admission queue is full, 503 once draining, and 400 on bad parameters.
-// With count > 1 the jobs go through Pool.SubmitBatch; the reply reports
-// how many completed and how many were rejected, and the error statuses
-// above apply only when nothing completed.
+// admission queue is full (including class sheds and unmeetable
+// deadlines), 503 once draining, and 400 on bad parameters. With count >
+// 1 the jobs go through Pool.SubmitBatch; the reply reports how many
+// completed and how many were rejected, and the error statuses above
+// apply only when nothing completed. class picks the priority class
+// (low, normal, high); deadline is a duration (e.g. 50ms) the job must
+// start within. Submit-dag runs one structured job — a registered DAG
+// workload (pipeline, mapreduce) expanded into a dependency graph and
+// admitted as a unit through Pool.SubmitDAG; the reply counts completed
+// and cancelled nodes.
 //
 // Usage:
 //
@@ -58,6 +66,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -69,6 +78,7 @@ import (
 	"palirria/internal/obs/stream"
 	"palirria/internal/serve"
 	"palirria/internal/topo"
+	"palirria/internal/workload"
 	"palirria/internal/wsrt"
 )
 
@@ -294,6 +304,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/submit-dag", s.handleSubmitDAG)
 	mux.HandleFunc("/drain", s.handleDrain)
 	if s.node != nil {
 		mux.HandleFunc("/gossip", s.node.GossipHandler())
@@ -349,6 +360,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad count", http.StatusBadRequest)
 		return
 	}
+	class, deadline, perr := classDeadlineParams(q)
+	if perr != nil {
+		http.Error(w, perr.Error(), http.StatusBadRequest)
+		return
+	}
+	if count > 1 && (class != serve.ClassLow || !deadline.IsZero()) {
+		// Batch admission is low-class and deadline-free by contract.
+		http.Error(w, "class/deadline require count=1", http.StatusBadRequest)
+		return
+	}
 	start := time.Now()
 	if count > 1 {
 		fns := make([]wsrt.Func, count)
@@ -382,19 +403,139 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	switch err := p.Submit(r.Context(), fanJob(fanout, work)); {
+	jb := serve.Job{Fn: fanJob(fanout, work), Class: class, Deadline: deadline}
+	switch err := p.SubmitJob(r.Context(), jb); {
 	case err == nil:
 		writeJSON(w, http.StatusOK, submitReply{
 			Tenant: tenant, Fanout: fanout, Work: work,
 			LatencyNS: time.Since(start).Nanoseconds(),
 		})
-	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrOverloaded):
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrOverloaded),
+		errors.Is(err, serve.ErrDeadline):
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrDiscarded):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default: // context cancellation: the client went away
 		http.Error(w, err.Error(), http.StatusRequestTimeout)
 	}
+}
+
+// classDeadlineParams parses the shared class= and deadline= query
+// parameters: class names a priority class (empty keeps the low default),
+// deadline is a positive duration the job must start within.
+func classDeadlineParams(q url.Values) (serve.Class, time.Time, error) {
+	class, ok := serve.ParseClass(q.Get("class"))
+	if !ok {
+		return 0, time.Time{}, fmt.Errorf("bad class %q (want low, normal or high)", q.Get("class"))
+	}
+	var deadline time.Time
+	if ds := q.Get("deadline"); ds != "" {
+		d, err := time.ParseDuration(ds)
+		if err != nil || d <= 0 {
+			return 0, time.Time{}, fmt.Errorf("bad deadline %q (want a positive duration)", ds)
+		}
+		deadline = time.Now().Add(d)
+	}
+	return class, deadline, nil
+}
+
+// submitDAGReply is the /submit-dag response body.
+type submitDAGReply struct {
+	Tenant    string `json:"tenant"`
+	Workload  string `json:"workload"`
+	Nodes     int    `json:"nodes"`
+	Completed int    `json:"completed"`
+	Cancelled int    `json:"cancelled"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// handleSubmitDAG expands a registered DAG workload into a dependency
+// graph and runs it as one structured job: nodes are admitted as a unit,
+// released as their predecessors complete, and the reply reports how the
+// graph resolved. The class and deadline parameters apply to every node.
+func (s *server) handleSubmitDAG(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	tenant := q.Get("tenant")
+	if tenant == "" {
+		tenant = s.names[0]
+	}
+	p, ok := s.pools[tenant]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", tenant), http.StatusNotFound)
+		return
+	}
+	name := q.Get("workload")
+	if name == "" {
+		name = "pipeline"
+	}
+	def, err := workload.GetDAG(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	work, err := intParam(q.Get("work"), 0)
+	if err != nil || work < 0 || work > 1<<30 {
+		http.Error(w, "bad work", http.StatusBadRequest)
+		return
+	}
+	class, deadline, perr := classDeadlineParams(q)
+	if perr != nil {
+		http.Error(w, perr.Error(), http.StatusBadRequest)
+		return
+	}
+	in := def.Inputs[workload.Simulator]
+	if work > 0 {
+		in.Grain = int64(work)
+	}
+	stages := def.Build(in)
+	nodes := make([]serve.DAGNode, len(stages))
+	for i, st := range stages {
+		nodes[i] = serve.DAGNode{
+			Fn:       wsrt.SpecFunc(st.Build()),
+			Deps:     st.Deps,
+			Class:    class,
+			Deadline: deadline,
+		}
+	}
+	start := time.Now()
+	errs, err := p.SubmitDAG(r.Context(), nodes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var completed, cancelled int
+	var firstErr error
+	for _, e := range errs {
+		if e == nil {
+			completed++
+		} else {
+			cancelled++
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	if completed == 0 && firstErr != nil {
+		switch {
+		case errors.Is(firstErr, serve.ErrQueueFull), errors.Is(firstErr, serve.ErrOverloaded),
+			errors.Is(firstErr, serve.ErrDeadline):
+			http.Error(w, firstErr.Error(), http.StatusTooManyRequests)
+		case errors.Is(firstErr, serve.ErrDraining), errors.Is(firstErr, serve.ErrDiscarded):
+			http.Error(w, firstErr.Error(), http.StatusServiceUnavailable)
+		default: // context cancellation: the client went away
+			http.Error(w, firstErr.Error(), http.StatusRequestTimeout)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, submitDAGReply{
+		Tenant: tenant, Workload: name, Nodes: len(nodes),
+		Completed: completed, Cancelled: cancelled,
+		LatencyNS: time.Since(start).Nanoseconds(),
+	})
 }
 
 // handleEvents streams the hub over Server-Sent Events. Each event goes

@@ -429,6 +429,119 @@ func TestServerJSONLSink(t *testing.T) {
 	}
 }
 
+// TestServerSubmitDAG runs both registered DAG workloads through
+// /submit-dag end to end: every node must complete, the reply must count
+// them, and the pool ledger must show the whole graph admitted.
+func TestServerSubmitDAG(t *testing.T) {
+	opts := testOptions()
+	opts.queueCap = 64 // mapreduce admits 18 nodes as a unit
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	wantNodes := map[string]int{"pipeline": 6, "mapreduce": 18}
+	total := 0
+	for _, name := range []string{"pipeline", "mapreduce"} {
+		resp, err := http.Post(ts.URL+"/submit-dag?workload="+name+"&work=500&class=high", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep submitDAGReply
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit-dag %s = %d", name, resp.StatusCode)
+		}
+		if rep.Workload != name || rep.Nodes != wantNodes[name] ||
+			rep.Completed != rep.Nodes || rep.Cancelled != 0 {
+			t.Fatalf("submit-dag %s reply = %+v", name, rep)
+		}
+		total += rep.Nodes
+	}
+
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Pools[0].Admitted != int64(total) || st.Pools[0].Completed != int64(total) {
+		t.Fatalf("pool stats after DAGs = %+v, want %d admitted+completed", st.Pools[0], total)
+	}
+}
+
+func TestServerSubmitDAGValidation(t *testing.T) {
+	s, err := newServer(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.close()
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/submit-dag", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/submit-dag?workload=nope", http.StatusBadRequest},
+		{http.MethodPost, "/submit-dag?work=-1", http.StatusBadRequest},
+		{http.MethodPost, "/submit-dag?class=urgent", http.StatusBadRequest},
+		{http.MethodPost, "/submit-dag?deadline=-5ms", http.StatusBadRequest},
+		{http.MethodPost, "/submit-dag?deadline=soon", http.StatusBadRequest},
+		{http.MethodPost, "/submit-dag?tenant=nope", http.StatusNotFound},
+		// class/deadline are shared with /submit; a batch cannot carry them.
+		{http.MethodPost, "/submit?count=2&class=high", http.StatusBadRequest},
+		{http.MethodPost, "/submit?count=2&deadline=1s", http.StatusBadRequest},
+		{http.MethodPost, "/submit?class=urgent", http.StatusBadRequest},
+		{http.MethodPost, "/submit?deadline=0s", http.StatusBadRequest},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+
+	// A generous deadline on a single job is accepted and the job runs.
+	resp, err := http.Post(ts.URL+"/submit?fanout=4&work=500&class=normal&deadline=30s", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline submit = %d", resp.StatusCode)
+	}
+
+	// Draining refuses whole graphs with 503 like plain submits.
+	resp, err = http.Post(ts.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/submit-dag", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit-dag after drain = %d, want 503", resp.StatusCode)
+	}
+}
+
 func TestServerStatusHasAdmitQuantiles(t *testing.T) {
 	s, err := newServer(testOptions())
 	if err != nil {

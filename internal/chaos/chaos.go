@@ -48,14 +48,19 @@ const (
 	LayerPool    = "pool"    // serve.Pool via Submit/SetMaxWorkers/Drain
 	LayerTenancy = "tenancy" // two serve.Pools under a serve.Tenancy
 	LayerCluster = "cluster" // a gossip router over N serve.Pools on loopback HTTP
+	LayerDAG     = "dag"     // serve.Pool via SubmitDAG with planned graph storms
 )
 
 // JobSpec is one planned job: a binary fan of Leaves leaf tasks, each
 // spinning ComputeNS synthetic nanoseconds, submitted after DelayUS.
+// Class picks the priority class (0 = low); DeadlineUS > 0 attaches a
+// start deadline that far in the future at submit time.
 type JobSpec struct {
-	Leaves    int   `json:"leaves"`
-	ComputeNS int64 `json:"compute_ns"`
-	DelayUS   int64 `json:"delay_us,omitempty"`
+	Leaves     int   `json:"leaves"`
+	ComputeNS  int64 `json:"compute_ns"`
+	DelayUS    int64 `json:"delay_us,omitempty"`
+	Class      int   `json:"class,omitempty"`
+	DeadlineUS int64 `json:"deadline_us,omitempty"`
 }
 
 // CapEvent imposes a worker cap at AtUS microseconds after the scenario
@@ -109,6 +114,19 @@ type Script struct {
 	// Tenancy knobs: re-arbitration period and when the first pool drains.
 	RearbEveryUS   int64 `json:"rearb_every_us,omitempty"`
 	DrainFirstAtUS int64 `json:"drain_first_at_us,omitempty"`
+	// ShedQuanta overrides the pool's shed-ladder arming threshold (pool
+	// and dag layers); 0 keeps the serve default.
+	ShedQuanta int `json:"shed_quanta,omitempty"`
+	// AuditClassEvents attaches an event hub (pool layer) and audits the
+	// admission/shed stream against the ladder-stamping invariant: every
+	// class-shed event carries a ladder level above its class, every
+	// admitted event a level at or below it — the exact, totally-ordered
+	// form of "no high-class shed while low-class admitted in the same
+	// window".
+	AuditClassEvents bool `json:"audit_class_events,omitempty"`
+	// DAGs is the planned graph storm for the dag layer; Jobs is unused
+	// there.
+	DAGs []DAGSpec `json:"dags,omitempty"`
 	// Streaming knobs (pool layer): StreamSubs > 0 attaches an event hub to
 	// the pool and runs that many churning subscribers that attach, read for
 	// StreamChurnUS microseconds through a StreamBuf-slot buffer, and detach,
@@ -206,6 +224,8 @@ func Run(sc *Script, timeout time.Duration) *Result {
 			runTenancy(sc, res)
 		case LayerCluster:
 			runCluster(sc, res)
+		case LayerDAG:
+			runDAG(sc, res)
 		default:
 			res.fail("unknown layer %q", sc.Layer)
 		}
@@ -521,7 +541,11 @@ func poolSubmitJobs(p *serve.Pool, sc *Script, recs []*jobRec, pick func(j int) 
 				}
 				rec, spec := recs[j], sc.Jobs[j]
 				sleepUS(spec.DelayUS)
-				err := p.Submit(context.Background(), jobBody(rec, spec))
+				jb := serve.Job{Fn: jobBody(rec, spec), Class: serve.Class(spec.Class)}
+				if spec.DeadlineUS > 0 {
+					jb.Deadline = time.Now().Add(time.Duration(spec.DeadlineUS) * time.Microsecond)
+				}
+				err := p.SubmitJob(context.Background(), jb)
 				switch {
 				case err == nil:
 					rec.outcome.Store(outcomeAccepted)
@@ -531,7 +555,8 @@ func poolSubmitJobs(p *serve.Pool, sc *Script, recs []*jobRec, pick func(j int) 
 					rec.outcome.Store(outcomeAccepted)
 					rec.done.Add(1)
 				case errors.Is(err, serve.ErrQueueFull),
-					errors.Is(err, serve.ErrOverloaded):
+					errors.Is(err, serve.ErrOverloaded),
+					errors.Is(err, serve.ErrDeadline):
 					rec.outcome.Store(outcomeRejected)
 				case errors.Is(err, serve.ErrDraining):
 					rec.outcome.Store(outcomeRejected)
@@ -621,7 +646,7 @@ func streamChurn(hub *stream.Hub, sc *Script, stop <-chan struct{}, res *Result)
 // and audits terminal-event conservation through a durable subscriber.
 func runPool(sc *Script, res *Result) {
 	var hub *stream.Hub
-	if sc.StreamSubs > 0 {
+	if sc.StreamSubs > 0 || sc.AuditClassEvents {
 		hub = stream.NewHub()
 	}
 	p, err := serve.New(serve.Config{
@@ -632,8 +657,9 @@ func runPool(sc *Script, res *Result) {
 			Quantum:        time.Duration(sc.QuantumUS) * time.Microsecond,
 			SubmitQueueCap: sc.SubmitQueueCap,
 		},
-		QueueCap: sc.PoolQueueCap,
-		Events:   hub,
+		QueueCap:   sc.PoolQueueCap,
+		ShedQuanta: sc.ShedQuanta,
+		Events:     hub,
 	})
 	if err != nil {
 		res.fail("build pool: %v", err)
@@ -641,6 +667,14 @@ func runPool(sc *Script, res *Result) {
 	}
 	recs := newLedger(sc)
 	start := time.Now()
+
+	// The class auditor replays the admission log in hub order against the
+	// ladder-stamping invariant; its per-class tallies cross-check the
+	// pool's ByClass ledger when nothing was dropped.
+	var audit *classAudit
+	if sc.AuditClassEvents {
+		audit = newClassAudit(hub, res)
+	}
 
 	// The durable subscriber watches only terminal events; together with its
 	// drop counter it must account for every admission the pool books.
@@ -703,6 +737,9 @@ func runPool(sc *Script, res *Result) {
 		churnWG.Wait()
 		durable.Close()
 		<-durDone
+		if audit != nil {
+			audit.finish(p)
+		}
 		hub.Close()
 	}
 	checkLedger(recs, res)

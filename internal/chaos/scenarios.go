@@ -375,4 +375,126 @@ var scenarios = []Scenario{
 			sc.DrainFirstAtUS = int64(2000 + rng.Intn(4001))
 		},
 	},
+	{
+		Name: "dag-cancel-storm",
+		Description: "a storm of small structured jobs — chains, fan-outs and " +
+			"random forward graphs — races per-graph cancellations against the " +
+			"release cascade while the cap oscillates; every admitted node must " +
+			"resolve exactly once as completed or cancelled, with nothing in " +
+			"flight after the drain",
+		plan: func(sc *Script, rng *xrand.Xoshiro256) {
+			sc.Layer = LayerDAG
+			sc.MeshW, sc.MeshH = 4, 2
+			sc.Source = 0
+			sc.QuantumUS = int64(250 + rng.Intn(251))
+			// The runtime queue outsizes the pool queue so a released
+			// successor can never bounce off the submit ring: every admitted
+			// node's fate is decided by completion or cancellation alone.
+			sc.SubmitQueueCap = 256
+			// Tight enough that concurrent graphs sometimes lose the
+			// all-or-nothing slot grab and bounce whole.
+			sc.PoolQueueCap = 12 + rng.Intn(13)
+			sc.Submitters = 6 + rng.Intn(5)
+			nDAGs := 36 + rng.Intn(29)
+			for i := 0; i < nDAGs; i++ {
+				var d DAGSpec
+				n := 3 + rng.Intn(6)
+				shape := rng.Intn(3)
+				for k := 0; k < n; k++ {
+					// Heavy leaves (tens of microseconds each) keep a graph
+					// alive across its planned cancel point, so cancellation
+					// actually races the release cascade instead of arriving
+					// after the sink completed.
+					ns := DAGNodeSpec{
+						Leaves:    1 + rng.Intn(8),
+						ComputeNS: int64(20_000 + rng.Intn(180_001)),
+						Class:     rng.Intn(3),
+					}
+					switch {
+					case k == 0:
+						// Root.
+					case shape == 0: // chain
+						ns.Deps = []int{k - 1}
+					case shape == 1: // root fans out, the sink joins every middle node
+						if k < n-1 {
+							ns.Deps = []int{0}
+						} else {
+							for m := 1; m < n-1; m++ {
+								ns.Deps = append(ns.Deps, m)
+							}
+						}
+					default: // random forward edges
+						picks := 1 + rng.Intn(2)
+						for t := 0; t < picks; t++ {
+							dep := rng.Intn(k)
+							dup := false
+							for _, have := range ns.Deps {
+								if have == dep {
+									dup = true
+								}
+							}
+							if !dup {
+								ns.Deps = append(ns.Deps, dep)
+							}
+						}
+					}
+					d.Nodes = append(d.Nodes, ns)
+				}
+				d.DelayUS = int64(rng.Intn(1501))
+				if rng.Intn(2) == 0 {
+					d.CancelAtUS = int64(100 + rng.Intn(1401))
+				}
+				sc.DAGs = append(sc.DAGs, d)
+			}
+			at := int64(0)
+			for i := 0; i < 8+rng.Intn(9); i++ {
+				at += int64(300 + rng.Intn(501))
+				sc.CapEvents = append(sc.CapEvents, CapEvent{AtUS: at, Cap: rng.Intn(9)})
+			}
+		},
+	},
+	{
+		Name: "priority-deadline-churn",
+		Description: "a classed submit storm against a tiny queue with the cap " +
+			"slammed to one core arms the shed ladder over and over while " +
+			"deadlines churn; the hub-ordered admission log must show no " +
+			"high-class shed in a window where a lower class was still being " +
+			"admitted (level stamps), and the per-class ledgers must balance",
+		plan: func(sc *Script, rng *xrand.Xoshiro256) {
+			sc.Layer = LayerPool
+			sc.MeshW, sc.MeshH = 4, 1
+			sc.Source = 0
+			sc.QuantumUS = int64(150 + rng.Intn(101))
+			sc.SubmitQueueCap = 128
+			sc.PoolQueueCap = 4 + rng.Intn(5)
+			sc.ShedQuanta = 2
+			sc.AuditClassEvents = true
+			sc.StreamBuf = 4096
+			sc.Submitters = 8 + rng.Intn(5)
+			n := 240 + rng.Intn(121)
+			for i := 0; i < n; i++ {
+				js := JobSpec{
+					Leaves:    2 + rng.Intn(15),
+					ComputeNS: int64(2000 + rng.Intn(6001)),
+					Class:     rng.Intn(3),
+					DelayUS:   int64(rng.Intn(400)),
+				}
+				if rng.Intn(3) == 0 {
+					js.DeadlineUS = int64(300 + rng.Intn(4701))
+				}
+				sc.Jobs = append(sc.Jobs, js)
+			}
+			// Hold the mesh at one core for long stretches so desire pins at
+			// capacity and the ladder arms, with brief lifts to drain.
+			at := int64(0)
+			for i := 0; i < 10+rng.Intn(7); i++ {
+				at += int64(400 + rng.Intn(601))
+				cap := 1
+				if i%3 == 2 {
+					cap = 0
+				}
+				sc.CapEvents = append(sc.CapEvents, CapEvent{AtUS: at, Cap: cap})
+			}
+		},
+	},
 }

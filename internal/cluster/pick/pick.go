@@ -130,6 +130,16 @@ func (p *Picker) Pick(exclude ...string) (cluster.PeerStatus, error) {
 		if !p.allowed(c.ID, now) {
 			continue
 		}
+		// Older peers gossip the pre-clamp spare signal, which goes
+		// negative for a quantum or two around a policy rebuild (desire
+		// transiently exceeds the shrunk capacity). Headroom below zero is
+		// meaningless for routing: normalize it so a rebuild-window node
+		// ties with ordinary saturated peers — and loses to them only on
+		// the real tie-breakers (admit p99, queue depth) — instead of
+		// ranking strictly last in its tier.
+		if c.Spare < 0 {
+			c.Spare = 0
+		}
 		switch {
 		case c.State == cluster.StateAlive && !c.Shed && c.Spare > 0:
 			spare = append(spare, c)

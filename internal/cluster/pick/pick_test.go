@@ -105,6 +105,56 @@ func TestPickTiersDegradeGracefully(t *testing.T) {
 	}
 }
 
+// TestPickToleratesNegativeSpare drives a rebuild-window snapshot through
+// the tiers: older peers gossip the pre-clamp spare signal, which dips
+// negative for a quantum or two while the estimator re-learns a shrunk
+// mesh. The picker must treat it as zero headroom — an ordinary saturated
+// peer — not rank it strictly below every real saturated node, and never
+// prefer it over a node with actual spare capacity.
+func TestPickToleratesNegativeSpare(t *testing.T) {
+	rebuilding := serveRow("rebuilding", cluster.StateAlive, -3, false)
+	rebuilding.Record.Queued = 1
+
+	// Against a saturated peer with a deeper queue, the normalized node
+	// must win on the tie-breaker: both sit at spare 0, so queue depth
+	// decides. Pre-clamp ordering would rank -3 below 0 unconditionally.
+	slow := serveRow("slow", cluster.StateAlive, 0, false)
+	slow.Record.Queued = 50
+	p, _ := testPicker([]cluster.PeerStatus{rebuilding, slow})
+	for i := 0; i < 30; i++ {
+		c, err := p.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ID != "rebuilding" {
+			t.Fatalf("pick %d chose %s; the rebuild-window node must tie at spare 0 and win on queue depth", i, c.ID)
+		}
+		if c.Spare != 0 {
+			t.Fatalf("candidate carries pre-clamp spare %d, want normalized 0", c.Spare)
+		}
+	}
+
+	// A node with real headroom still owns the spare tier outright.
+	p, _ = testPicker([]cluster.PeerStatus{rebuilding, serveRow("roomy", cluster.StateAlive, 2, false)})
+	for i := 0; i < 30; i++ {
+		c, err := p.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ID != "roomy" {
+			t.Fatalf("pick %d chose %s over the only node with spare capacity", i, c.ID)
+		}
+	}
+
+	// Alone, the rebuild-window node is still routable (saturated tier,
+	// not degraded): negative spare must not read as unhealthy.
+	p, _ = testPicker([]cluster.PeerStatus{rebuilding, serveRow("shedding", cluster.StateAlive, 9, true)})
+	c, err := p.Pick()
+	if err != nil || c.ID != "rebuilding" {
+		t.Fatalf("pick = %v, %v; want the rebuild-window node ahead of the degraded tier", c.ID, err)
+	}
+}
+
 func TestPickNeverRoutesToRouter(t *testing.T) {
 	rows := []cluster.PeerStatus{
 		{Record: cluster.Record{ID: "rt", Role: cluster.RoleRouter, Spare: 99}, State: cluster.StateAlive},

@@ -213,10 +213,13 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...L
 		labels: formatLabels(labels), value: fn})
 }
 
-// Histogram registers and returns a histogram with the given upper bucket
+// NewHistogram builds a standalone histogram with the given upper bucket
 // bounds (ascending; an implicit +Inf bucket is always added). Pass nil to
-// get DefaultLatencyBuckets.
-func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+// get DefaultLatencyBuckets. Use Registry.Histogram to also register the
+// series for scraping; a standalone histogram serves callers that need
+// Observe/Quantile without a registry (e.g. a pool tracking admission
+// latency for deadline admission when metrics are disabled).
+func NewHistogram(bounds []float64) *Histogram {
 	if bounds == nil {
 		bounds = DefaultLatencyBuckets
 	}
@@ -225,6 +228,14 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 		counts: make([]atomic.Int64, len(bounds)),
 	}
 	sort.Float64s(h.bounds)
+	return h
+}
+
+// Histogram registers and returns a histogram with the given upper bucket
+// bounds (ascending; an implicit +Inf bucket is always added). Pass nil to
+// get DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
 	r.register(&metric{name: name, help: help, kind: kindHistogram,
 		labels: formatLabels(labels), labelPairs: append([]Label(nil), labels...), hist: h})
 	return h

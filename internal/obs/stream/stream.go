@@ -63,24 +63,30 @@ const (
 	// KindFailover: an attempt against Node failed and the submission was
 	// re-routed to Target (Reason carries the failure cause).
 	KindFailover
+	// KindDeadlineShed: a submission was rejected because the estimator's
+	// desire plus the observed submit-to-start p99 predicted the job could
+	// not start before its deadline (Detail names the class, Arg the
+	// predicted wait in nanoseconds).
+	KindDeadlineShed
 
 	// NumKinds is the number of stream event kinds.
 	NumKinds
 )
 
 var kindNames = [NumKinds]string{
-	KindAdmitted:    "admitted",
-	KindStarted:     "started",
-	KindCompleted:   "completed",
-	KindCancelled:   "cancelled",
-	KindShed:        "shed",
-	KindQuantum:     "quantum",
-	KindSched:       "sched",
-	KindPeerUp:      "peer-up",
-	KindPeerSuspect: "peer-suspect",
-	KindPeerDead:    "peer-dead",
-	KindRouted:      "routed",
-	KindFailover:    "failover",
+	KindAdmitted:     "admitted",
+	KindStarted:      "started",
+	KindCompleted:    "completed",
+	KindCancelled:    "cancelled",
+	KindShed:         "shed",
+	KindQuantum:      "quantum",
+	KindSched:        "sched",
+	KindPeerUp:       "peer-up",
+	KindPeerSuspect:  "peer-suspect",
+	KindPeerDead:     "peer-dead",
+	KindRouted:       "routed",
+	KindFailover:     "failover",
+	KindDeadlineShed: "deadline-shed",
 }
 
 // String names the kind (also the SSE event name on the wire).

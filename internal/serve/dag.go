@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+
+	"palirria/internal/obs/stream"
+	"palirria/internal/wsrt"
+)
+
+// dagNode is the dependency ledger's record for one submitted node: the
+// pool job plus the graph bookkeeping that releases or cancels it.
+type dagNode struct {
+	j       *job
+	class   Class
+	wrapped wsrt.Func
+	onDone  func()
+	// indeg counts unfinished predecessors; the last terminal predecessor
+	// decrements it to zero and launches the node.
+	indeg atomic.Int32
+	succs []int
+	// released flips exactly once: either the node was handed to the
+	// runtime (launch) or it was finalized as cancelled (cancel). The CAS
+	// is what makes the terminal accounting exactly-once even when
+	// several failing predecessors race to cancel the same descendant.
+	released atomic.Bool
+	// cause, when set before the node resolves, refines await's
+	// ErrDiscarded into the DAG-specific cause (ErrCancelled). Written
+	// before onDone closes j.done, read only after it.
+	cause error
+}
+
+// dag is one submitted job graph's ledger.
+type dag struct {
+	p     *Pool
+	nodes []*dagNode
+}
+
+// validateDAG checks dependency indices and acyclicity (Kahn), returning
+// each node's initial indegree.
+func validateDAG(nodes []DAGNode) ([]int32, error) {
+	indeg := make([]int32, len(nodes))
+	for i, n := range nodes {
+		for _, d := range n.Deps {
+			if d < 0 || d >= len(nodes) {
+				return nil, ErrBadDAG
+			}
+			indeg[i]++
+		}
+	}
+	// Kahn: repeatedly release zero-indegree nodes; leftovers are a cycle.
+	work := append([]int32(nil), indeg...)
+	queue := make([]int, 0, len(nodes))
+	for i := range nodes {
+		if work[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	succs := make([][]int, len(nodes))
+	for i, n := range nodes {
+		for _, d := range n.Deps {
+			succs[d] = append(succs[d], i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, s := range succs[i] {
+			if work[s]--; work[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if seen != len(nodes) {
+		return nil, ErrBadDAG
+	}
+	return indeg, nil
+}
+
+// SubmitDAG admits a job graph as one unit and waits for every node. The
+// runtime releases a node the moment its last predecessor completes —
+// pipelines and map/reduce shapes flow through the resident allotment
+// without any caller-side sequencing — and a predecessor that does not
+// complete (cancelled, discarded at shutdown) cancels every
+// not-yet-released descendant with exactly-once terminal accounting.
+//
+// The returned slice is aligned with nodes: entry i is nil when node i
+// completed, ErrCancelled when a failed predecessor cancelled it, or the
+// per-job error Submit would have returned. The second return is non-nil
+// only for a structurally invalid graph (ErrBadDAG: out-of-range
+// dependency or cycle), in which case nothing was admitted.
+//
+// Admission is all-or-nothing: the whole graph needs queue slots for all
+// of its nodes (ErrQueueFull otherwise), is shed as a unit on its highest
+// class, and a node deadline that is already unmeetable rejects the graph
+// with ErrDeadline before anything runs.
+func (p *Pool) SubmitDAG(ctx context.Context, nodes []DAGNode) ([]error, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	indeg, err := validateDAG(nodes)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(nodes))
+	fill := func(err error) []error {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	if p.state.Load() != poolAccepting {
+		return fill(ErrDraining), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fill(err), nil
+	}
+	maxClass := ClassLow
+	for _, n := range nodes {
+		if c := n.Class.clamp(); c > maxClass {
+			maxClass = c
+		}
+	}
+	lvl := p.shedLevel.Load()
+	if lvl > int32(maxClass) {
+		p.rejectedShed.Add(int64(len(nodes)))
+		for _, n := range nodes {
+			c := n.Class.clamp()
+			p.classShed[c].Add(1)
+			p.publishEv(stream.Event{Kind: stream.KindShed, Reason: "shed",
+				Detail: c.String(), Arg: int64(lvl)})
+		}
+		return fill(ErrOverloaded), nil
+	}
+	for _, n := range nodes {
+		if wait, late := p.missesDeadline(n.Deadline); late {
+			p.rejectedDeadline.Add(int64(len(nodes)))
+			for _, m := range nodes {
+				p.classShed[m.Class.clamp()].Add(1)
+			}
+			p.publishEv(stream.Event{Kind: stream.KindDeadlineShed, Reason: "deadline",
+				Detail: n.Class.clamp().String(), Arg: wait})
+			return fill(ErrDeadline), nil
+		}
+	}
+	// All-or-nothing slot acquisition: a partially admitted graph would
+	// deadlock against itself when the missing nodes are predecessors.
+	for i := range nodes {
+		select {
+		case p.slots <- struct{}{}:
+		default:
+			for k := 0; k < i; k++ {
+				<-p.slots
+			}
+			p.rejectedFull.Add(int64(len(nodes)))
+			for _, n := range nodes {
+				p.publishEv(stream.Event{Kind: stream.KindShed, Reason: "full",
+					Detail: n.Class.clamp().String(), Arg: int64(lvl)})
+			}
+			return fill(ErrQueueFull), nil
+		}
+	}
+
+	d := &dag{p: p, nodes: make([]*dagNode, len(nodes))}
+	for i, n := range nodes {
+		class := n.Class.clamp()
+		j, wrapped, onDone := p.prepare(n.Fn, class)
+		dn := &dagNode{j: j, class: class, wrapped: wrapped, onDone: onDone}
+		dn.indeg.Store(indeg[i])
+		d.nodes[i] = dn
+	}
+	for i, n := range nodes {
+		for _, dep := range n.Deps {
+			d.nodes[dep].succs = append(d.nodes[dep].succs, i)
+		}
+	}
+	// Every node is on the books from here: each one's terminal
+	// accounting (onDone) fires exactly once — by a worker, by the
+	// shutdown flush, or by the ledger's cancel path — so counting the
+	// whole graph admitted now preserves the conservation identity
+	// Admitted == Completed + Cancelled at drain.
+	p.inflight.Add(int64(len(nodes)))
+	p.admitted.Add(int64(len(nodes)))
+	for _, dn := range d.nodes {
+		p.classAdmitted[dn.class].Add(1)
+		p.publishEv(stream.Event{Kind: stream.KindAdmitted, Job: dn.j.id,
+			Detail: dn.class.String(), Arg: int64(lvl)})
+	}
+	for i, dn := range d.nodes {
+		if dn.indeg.Load() == 0 {
+			d.launch(i)
+		}
+	}
+	for i, dn := range d.nodes {
+		errs[i] = p.await(ctx, dn.j)
+		if errs[i] == ErrDiscarded && dn.cause != nil {
+			errs[i] = dn.cause
+		}
+	}
+	return errs, nil
+}
+
+// launch hands node i to the runtime. The released CAS makes it a no-op
+// when a cancel already finalized the node; the terminal hook routes the
+// runtime's exactly-once disposition back into the ledger.
+func (d *dag) launch(i int) {
+	dn := d.nodes[i]
+	if !dn.released.CompareAndSwap(false, true) {
+		return
+	}
+	err := d.p.rt.SubmitJob(wsrt.Job{
+		Fn:         dn.wrapped,
+		OnDone:     dn.onDone,
+		OnTerminal: func(ran bool) { d.terminal(i, ran) },
+	})
+	if err != nil {
+		// The runtime refused the node (a drain's shutdown won the race,
+		// or the backlog bound broke). Finalize it here — the runtime
+		// never saw it, so nobody else will — and fail its descendants.
+		dn.cause = ErrDraining
+		dn.j.state.CompareAndSwap(jobPending, jobCancelled)
+		dn.onDone()
+		d.cancelSuccs(i)
+	}
+}
+
+// terminal is node i's release-on-terminal hook, fired exactly once by
+// the runtime after the node's own onDone ran. A node that ran to
+// completion releases its successors (atomic indegree decrement; the
+// decrement that reaches zero launches); any other disposition — skipped
+// because its context cancelled it while queued, or discarded unrun by
+// the shutdown flush — cancels all not-yet-released descendants.
+func (d *dag) terminal(i int, ran bool) {
+	dn := d.nodes[i]
+	if ran && dn.j.state.Load() == jobDone {
+		for _, s := range dn.succs {
+			if d.nodes[s].indeg.Add(-1) == 0 {
+				d.launch(s)
+			}
+		}
+		return
+	}
+	d.cancelSuccs(i)
+}
+
+func (d *dag) cancelSuccs(i int) {
+	for _, s := range d.nodes[i].succs {
+		d.cancel(s)
+	}
+}
+
+// cancel finalizes a never-launched node as cancelled and recurses into
+// its descendants. The released CAS dedups racing cancels (a node with
+// two failed predecessors) and racing launches (a sibling completing
+// concurrently); whichever path wins, the node's onDone — and with it the
+// cancelled counter, the terminal stream event, the queue slot and the
+// inflight decrement — fires exactly once.
+func (d *dag) cancel(i int) {
+	dn := d.nodes[i]
+	if !dn.released.CompareAndSwap(false, true) {
+		return
+	}
+	dn.cause = ErrCancelled
+	dn.j.state.CompareAndSwap(jobPending, jobCancelled)
+	dn.onDone()
+	d.cancelSuccs(i)
+}

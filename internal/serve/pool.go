@@ -60,6 +60,7 @@ const (
 
 type job struct {
 	id    uint64
+	class Class
 	state atomic.Int32
 	done  chan struct{}
 }
@@ -70,6 +71,12 @@ type Pool struct {
 	cfg Config
 	rt  *wsrt.Runtime
 	hub *stream.Hub // nil disables streaming
+
+	// submitBatch is the runtime hand-off used by SubmitBatch — normally
+	// rt.SubmitBatch, replaceable by regression tests that pin the pool's
+	// admitted accounting against both partial-acceptance shapes of the
+	// wsrt contract: (n, ErrSubmitQueueFull) and (n>0, ErrClosed).
+	submitBatch func([]wsrt.Job) (int, error)
 
 	// jobSeq hands out the per-pool job ids carried on stream events.
 	jobSeq atomic.Uint64
@@ -84,19 +91,39 @@ type Pool struct {
 
 	// shedding is the overload latch; pinned counts consecutive quanta of
 	// desire == capacity and is touched only by the helper goroutine.
-	shedding atomic.Bool
-	pinned   int
+	// shedLevel is the ladder position derived from pinned: 0 admits
+	// everything, level L sheds every class below L (low at 1, normal at
+	// 2, high at 3) — one more class per further ShedQuanta pinned quanta
+	// while the queue stays saturated. shedding mirrors shedLevel > 0.
+	shedding  atomic.Bool
+	shedLevel atomic.Int32
+	pinned    int
 
 	lastDesire atomic.Int64
 	peakDesire atomic.Int64
 
-	admitted     atomic.Int64
-	completed    atomic.Int64
-	cancelled    atomic.Int64
-	rejectedFull atomic.Int64
-	rejectedShed atomic.Int64
+	admitted         atomic.Int64
+	completed        atomic.Int64
+	cancelled        atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedShed     atomic.Int64
+	rejectedDeadline atomic.Int64
 
-	latHist *obs.Histogram
+	// Per-class admission ledger: every class-C admission lands in
+	// classAdmitted[C] and ends in classCompleted[C] or the pool-wide
+	// cancelled counter; ladder and deadline rejections land in
+	// classShed[C].
+	classAdmitted  [NumClasses]atomic.Int64
+	classShed      [NumClasses]atomic.Int64
+	classCompleted [NumClasses]atomic.Int64
+
+	// latHist is always maintained — deadline admission predicts the
+	// queue wait from its p99 — but its quantiles surface in Stats only
+	// when a metrics registry asked for them (latExported), so a pool
+	// without Metrics keeps reporting zero quantiles to /status and the
+	// gossip layer exactly as before the histogram became always-on.
+	latHist     *obs.Histogram
+	latExported bool
 
 	closeOnce sync.Once
 	drainedCh chan struct{}
@@ -158,8 +185,15 @@ func New(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	p.rt = rt
+	p.submitBatch = rt.SubmitBatch
 	if cfg.Metrics != nil {
 		p.registerMetrics(cfg.Metrics)
+	}
+	if p.latHist == nil {
+		// Deadline admission predicts the queue wait from the observed
+		// submit-to-start p99, so the histogram is maintained even when no
+		// metrics registry asked for it.
+		p.latHist = obs.NewHistogram(nil)
 	}
 	if err := rt.Start(); err != nil {
 		return nil, err
@@ -178,6 +212,16 @@ func (p *Pool) publish(kind stream.Kind, jobID uint64, reason string) {
 		return
 	}
 	p.hub.Publish(stream.Event{Kind: kind, Pool: p.cfg.Name, Job: jobID, Reason: reason})
+}
+
+// publishEv fans a pre-built event onto the hub, stamping the pool label
+// — the variant for events that carry class/ladder fields.
+func (p *Pool) publishEv(ev stream.Event) {
+	if p.hub == nil {
+		return
+	}
+	ev.Pool = p.cfg.Name
+	p.hub.Publish(ev)
 }
 
 // noteQuantum is the pool's estimator tap, invoked once per quantum on
@@ -207,15 +251,29 @@ func (p *Pool) noteQuantum(q wsrt.QuantumInfo) {
 		p.pinned++
 	} else {
 		p.pinned = 0
+		p.shedLevel.Store(0)
 		p.shedding.Store(false)
 	}
 	if p.pinned >= p.cfg.ShedQuanta && len(p.slots) >= p.cfg.QueueCap {
+		// Ladder escalation: one more class is shed per further ShedQuanta
+		// pinned quanta with the queue still saturated. The level only
+		// ratchets up here — partially drained queues hold the latch (the
+		// hysteresis the single-latch design had) until desire drops below
+		// capacity or the pool drains empty.
+		lvl := int32(p.pinned / p.cfg.ShedQuanta)
+		if lvl > int32(NumClasses) {
+			lvl = int32(NumClasses)
+		}
+		if lvl > p.shedLevel.Load() {
+			p.shedLevel.Store(lvl)
+		}
 		p.shedding.Store(true)
 	} else if p.shedding.Load() && len(p.slots) == 0 {
 		// A pool whose minimum allotment equals its capacity never sees
 		// desire drop below capacity, so the desire-based release above is
 		// unreachable for it; a fully drained pool is unambiguous recovery.
 		p.pinned = 0
+		p.shedLevel.Store(0)
 		p.shedding.Store(false)
 	}
 }
@@ -231,27 +289,56 @@ func (p *Pool) noteQuantum(q wsrt.QuantumInfo) {
 //     (cooperative model: a fork/join body cannot be preempted) and is
 //     still counted and drained;
 //   - ErrDiscarded when the pool shut down before the job ran.
+//
+// Submit is SubmitJob with the zero Job: low priority, no deadline.
 func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
+	return p.SubmitJob(ctx, Job{Fn: fn})
+}
+
+// SubmitJob admits one classed, optionally deadlined job and waits for
+// it. Beyond Submit's contract it can also return:
+//
+//   - ErrOverloaded when the shed ladder has reached the job's class
+//     (low-class work is shed first, high-class last);
+//   - ErrDeadline when the predicted submit-to-start wait (observed p99
+//     scaled by the estimator's overload ratio) would miss Job.Deadline.
+func (p *Pool) SubmitJob(ctx context.Context, jb Job) error {
 	if p.state.Load() != poolAccepting {
 		return ErrDraining
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if p.shedding.Load() {
+	class := jb.Class.clamp()
+	// The ladder level is sampled once and stamped on the decision's
+	// stream event (Detail: class, Arg: level), so an event log totally
+	// ordered by hub sequence can audit class ordering exactly: a "shed"
+	// rejection always carries Arg > class, an admission Arg <= class.
+	lvl := p.shedLevel.Load()
+	if lvl > int32(class) {
 		p.rejectedShed.Add(1)
-		p.publish(stream.KindShed, 0, "shed")
+		p.classShed[class].Add(1)
+		p.publishEv(stream.Event{Kind: stream.KindShed, Reason: "shed",
+			Detail: class.String(), Arg: int64(lvl)})
 		return ErrOverloaded
+	}
+	if wait, late := p.missesDeadline(jb.Deadline); late {
+		p.rejectedDeadline.Add(1)
+		p.classShed[class].Add(1)
+		p.publishEv(stream.Event{Kind: stream.KindDeadlineShed, Reason: "deadline",
+			Detail: class.String(), Arg: wait})
+		return ErrDeadline
 	}
 	select {
 	case p.slots <- struct{}{}:
 	default:
 		p.rejectedFull.Add(1)
-		p.publish(stream.KindShed, 0, "full")
+		p.publishEv(stream.Event{Kind: stream.KindShed, Reason: "full",
+			Detail: class.String(), Arg: int64(lvl)})
 		return ErrQueueFull
 	}
 
-	j, wrapped, onDone := p.prepare(fn)
+	j, wrapped, onDone := p.prepare(jb.Fn, class)
 	p.inflight.Add(1)
 	if err := p.rt.Submit(wrapped, onDone); err != nil {
 		if p.inflight.Add(-1) == 0 {
@@ -269,19 +356,40 @@ func (p *Pool) Submit(ctx context.Context, fn wsrt.Func) error {
 	// can never see more admissions than completions+cancellations+flight
 	// (the pre-submit increment with post-failure rollback could).
 	p.admitted.Add(1)
+	p.classAdmitted[class].Add(1)
 	// Published after the runtime holds the job, matching the admitted
 	// counter; a fast job's started event may therefore precede its
 	// admitted event in stream order.
-	p.publish(stream.KindAdmitted, j.id, "")
+	p.publishEv(stream.Event{Kind: stream.KindAdmitted, Job: j.id,
+		Detail: class.String(), Arg: int64(lvl)})
 
 	return p.await(ctx, j)
+}
+
+// missesDeadline predicts the submit-to-start wait for a job admitted now
+// and reports whether it would start after deadline (zero deadlines never
+// miss). The prediction is the observed p99 queue wait scaled by the
+// estimator's overload ratio desire/capacity when desire exceeds capacity
+// — the histogram lags a growing backlog, and the ratio is exactly the
+// signal by which the estimator says the backlog is outgrowing the
+// machine.
+func (p *Pool) missesDeadline(deadline time.Time) (waitNS int64, late bool) {
+	if deadline.IsZero() {
+		return 0, false
+	}
+	est := p.latHist.Quantile(0.99) * 1e9
+	if d, c := p.lastDesire.Load(), p.rt.Capacity(); c > 0 && d > int64(c) {
+		est *= float64(d) / float64(c)
+	}
+	waitNS = int64(est)
+	return waitNS, nowNS()+waitNS > deadline.UnixNano()
 }
 
 // prepare builds one job record with its wrapped body and completion
 // callback — the per-job half of admission, shared by Submit and
 // SubmitBatch. The caller owns the slot and inflight bookkeeping.
-func (p *Pool) prepare(fn wsrt.Func) (*job, wsrt.Func, func()) {
-	j := &job{id: p.jobSeq.Add(1), done: make(chan struct{})}
+func (p *Pool) prepare(fn wsrt.Func, class Class) (*job, wsrt.Func, func()) {
+	j := &job{id: p.jobSeq.Add(1), class: class, done: make(chan struct{})}
 	submitNS := nowNS()
 	wrapped := func(c *wsrt.Ctx) {
 		if !j.state.CompareAndSwap(jobPending, jobRunning) {
@@ -303,6 +411,7 @@ func (p *Pool) prepare(fn wsrt.Func) (*job, wsrt.Func, func()) {
 		if j.state.CompareAndSwap(jobRunning, jobDone) {
 			p.running.Add(-1)
 			p.completed.Add(1)
+			p.classCompleted[j.class].Add(1)
 			p.publish(stream.KindCompleted, j.id, "")
 		} else {
 			p.cancelled.Add(1)
@@ -359,10 +468,13 @@ func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
 	if err := ctx.Err(); err != nil {
 		return fill(err)
 	}
-	if p.shedding.Load() {
+	lvl := p.shedLevel.Load()
+	if lvl > int32(ClassLow) {
 		p.rejectedShed.Add(int64(len(fns)))
+		p.classShed[ClassLow].Add(int64(len(fns)))
 		for range fns {
-			p.publish(stream.KindShed, 0, "shed")
+			p.publishEv(stream.Event{Kind: stream.KindShed, Reason: "shed",
+				Detail: ClassLow.String(), Arg: int64(lvl)})
 		}
 		return fill(ErrOverloaded)
 	}
@@ -377,11 +489,12 @@ func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
 		case p.slots <- struct{}{}:
 		default:
 			p.rejectedFull.Add(1)
-			p.publish(stream.KindShed, 0, "full")
+			p.publishEv(stream.Event{Kind: stream.KindShed, Reason: "full",
+				Detail: ClassLow.String(), Arg: int64(lvl)})
 			errs[i] = ErrQueueFull
 			continue
 		}
-		j, wrapped, onDone := p.prepare(fn)
+		j, wrapped, onDone := p.prepare(fn, ClassLow)
 		p.inflight.Add(1)
 		adm = append(adm, admittedJob{idx: i, j: j})
 		batch = append(batch, wsrt.Job{Fn: wrapped, OnDone: onDone})
@@ -389,10 +502,16 @@ func (p *Pool) SubmitBatch(ctx context.Context, fns []wsrt.Func) []error {
 	if len(batch) == 0 {
 		return errs
 	}
-	n, err := p.rt.SubmitBatch(batch)
+	// Counted and published strictly for the runtime-accepted prefix: a
+	// partial acceptance — (n, ErrSubmitQueueFull) or a mid-batch seal's
+	// (n>0, ErrClosed) — must not inflate admitted past what the runtime
+	// holds (TestPoolBatchAdmittedMatchesRuntimePrefix pins both shapes).
+	n, err := p.submitBatch(batch)
 	p.admitted.Add(int64(n))
+	p.classAdmitted[ClassLow].Add(int64(n))
 	for k := 0; k < n; k++ {
-		p.publish(stream.KindAdmitted, adm[k].j.id, "")
+		p.publishEv(stream.Event{Kind: stream.KindAdmitted, Job: adm[k].j.id,
+			Detail: ClassLow.String(), Arg: int64(lvl)})
 	}
 	// Jobs past the accepted prefix never reached the runtime: unwind
 	// their admission and report the cause.
@@ -518,27 +637,46 @@ type Stats struct {
 	Admitted  int64 `json:"admitted"`
 	Completed int64 `json:"completed"`
 	Cancelled int64 `json:"cancelled"`
-	// RejectedFull and RejectedShed count Submit rejections by cause.
-	RejectedFull int64 `json:"rejected_full"`
-	RejectedShed int64 `json:"rejected_shed"`
+	// RejectedFull, RejectedShed and RejectedDeadline count Submit
+	// rejections by cause.
+	RejectedFull     int64 `json:"rejected_full"`
+	RejectedShed     int64 `json:"rejected_shed"`
+	RejectedDeadline int64 `json:"rejected_deadline,omitempty"`
+	// ByClass breaks admissions, ladder/deadline rejections, and
+	// completions down by priority class, indexed low/normal/high.
+	ByClass [NumClasses]ClassStats `json:"by_class"`
 	// InFlight is queued + running; Running is jobs actually executing.
 	InFlight int64 `json:"in_flight"`
 	Running  int64 `json:"running"`
 	Queued   int64 `json:"queued"`
-	// Shedding reports the overload latch; Draining/Closed the lifecycle.
-	Shedding bool `json:"shedding"`
-	Draining bool `json:"draining"`
-	Closed   bool `json:"closed"`
+	// Shedding reports the overload latch (ShedLevel > 0); ShedLevel is
+	// the ladder position — level L sheds every class below L.
+	// Draining/Closed report the lifecycle.
+	Shedding  bool  `json:"shedding"`
+	ShedLevel int32 `json:"shed_level,omitempty"`
+	Draining  bool  `json:"draining"`
+	Closed    bool  `json:"closed"`
 	// Desire, Allotment and Capacity expose the estimation loop.
 	Desire    int `json:"desire"`
 	Allotment int `json:"allotment"`
 	Capacity  int `json:"capacity"`
 	QueueCap  int `json:"queue_cap"`
 	// AdmitP50/AdmitP99 are submit-to-start latency quantiles in seconds,
-	// interpolated from the admission histogram (zero without Metrics or
-	// before the first started job).
+	// interpolated from the admission histogram (zero before the first
+	// started job).
 	AdmitP50 float64 `json:"admit_p50_seconds"`
 	AdmitP99 float64 `json:"admit_p99_seconds"`
+}
+
+// ClassStats is one priority class's slice of the admission ledger.
+type ClassStats struct {
+	Class string `json:"class"`
+	// Admitted counts class jobs the runtime accepted; Shed counts ladder
+	// and deadline rejections; Completed counts class jobs that ran to
+	// completion.
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
 }
 
 // Stats samples the pool.
@@ -551,30 +689,41 @@ func (p *Pool) Stats() Stats {
 	}
 	st := p.state.Load()
 	var p50, p99 float64
-	if p.latHist != nil {
+	if p.latExported {
 		p50 = p.latHist.Quantile(0.50)
 		p99 = p.latHist.Quantile(0.99)
 	}
-	return Stats{
-		Name:         p.cfg.Name,
-		Admitted:     p.admitted.Load(),
-		Completed:    p.completed.Load(),
-		Cancelled:    p.cancelled.Load(),
-		RejectedFull: p.rejectedFull.Load(),
-		RejectedShed: p.rejectedShed.Load(),
-		InFlight:     inflight,
-		Running:      running,
-		Queued:       queued,
-		Shedding:     p.shedding.Load(),
-		Draining:     st == poolDraining,
-		Closed:       st == poolClosed,
-		Desire:       int(p.lastDesire.Load()),
-		Allotment:    p.rt.AllotmentSize(),
-		Capacity:     p.rt.Capacity(),
-		QueueCap:     p.cfg.QueueCap,
-		AdmitP50:     p50,
-		AdmitP99:     p99,
+	out := Stats{
+		Name:             p.cfg.Name,
+		Admitted:         p.admitted.Load(),
+		Completed:        p.completed.Load(),
+		Cancelled:        p.cancelled.Load(),
+		RejectedFull:     p.rejectedFull.Load(),
+		RejectedShed:     p.rejectedShed.Load(),
+		RejectedDeadline: p.rejectedDeadline.Load(),
+		InFlight:         inflight,
+		Running:          running,
+		Queued:           queued,
+		Shedding:         p.shedding.Load(),
+		ShedLevel:        p.shedLevel.Load(),
+		Draining:         st == poolDraining,
+		Closed:           st == poolClosed,
+		Desire:           int(p.lastDesire.Load()),
+		Allotment:        p.rt.AllotmentSize(),
+		Capacity:         p.rt.Capacity(),
+		QueueCap:         p.cfg.QueueCap,
+		AdmitP50:         p50,
+		AdmitP99:         p99,
 	}
+	for c := Class(0); c < NumClasses; c++ {
+		out.ByClass[c] = ClassStats{
+			Class:     c.String(),
+			Admitted:  p.classAdmitted[c].Load(),
+			Shed:      p.classShed[c].Load(),
+			Completed: p.classCompleted[c].Load(),
+		}
+	}
+	return out
 }
 
 // Snapshot extends Stats with the derived spare-parallelism signal. It is
@@ -597,9 +746,19 @@ type Snapshot struct {
 
 // Snapshot samples the pool once and derives the spare signal from that
 // single Stats read, so the two can never be torn against each other.
+// Spare is clamped at zero: desire can transiently exceed capacity during
+// a policy rebuild (the estimator re-learns the shrunk mesh a quantum
+// late), and a negative headroom signal is meaningless to every consumer
+// — the router tiers treat it as "no spare", and older peers that gossip
+// the pre-clamp value are tolerated on the receiving side
+// (internal/cluster/pick).
 func (p *Pool) Snapshot() Snapshot {
 	st := p.Stats()
-	return Snapshot{Stats: st, Spare: st.Capacity - st.Desire}
+	spare := st.Capacity - st.Desire
+	if spare < 0 {
+		spare = 0
+	}
+	return Snapshot{Stats: st, Spare: spare}
 }
 
 // registerMetrics exposes the pool's serving counters on reg, labelled by
@@ -637,8 +796,22 @@ func (p *Pool) registerMetrics(reg *obs.Registry) {
 			}
 			return 0
 		}, lbl)
+	reg.GaugeFunc("palirria_pool_shed_level", "Shed ladder level: L sheds every class below L.",
+		func() float64 { return float64(p.shedLevel.Load()) }, lbl)
+	reg.CounterFunc("palirria_pool_rejected_total", "Submits rejected: deadline unmeetable.",
+		count(&p.rejectedDeadline), lbl, obs.Label{Key: "reason", Value: "deadline"})
+	for c := Class(0); c < NumClasses; c++ {
+		cl := obs.Label{Key: "class", Value: c.String()}
+		reg.CounterFunc("palirria_pool_class_admitted_total", "Jobs admitted, by priority class.",
+			count(&p.classAdmitted[c]), lbl, cl)
+		reg.CounterFunc("palirria_pool_class_shed_total", "Ladder and deadline rejections, by priority class.",
+			count(&p.classShed[c]), lbl, cl)
+		reg.CounterFunc("palirria_pool_class_completed_total", "Jobs completed, by priority class.",
+			count(&p.classCompleted[c]), lbl, cl)
+	}
 	reg.GaugeFunc("palirria_pool_desire_workers", "Filtered desire of the last quantum.",
 		func() float64 { return float64(p.lastDesire.Load()) }, lbl)
 	p.latHist = reg.Histogram("palirria_pool_admission_latency_seconds",
 		"Time from Submit to job start.", nil, lbl)
+	p.latExported = true
 }

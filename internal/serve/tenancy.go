@@ -143,18 +143,23 @@ type TenantStatus struct {
 	Share int `json:"share"`
 	// Desire is the pool's current bid.
 	Desire int `json:"desire"`
+	// ShedLevel is the pool's shed ladder position (0 admits everything;
+	// level L sheds every priority class below L), so a tenancy listing
+	// shows which tenants are squeezed into shedding by their share.
+	ShedLevel int32 `json:"shed_level,omitempty"`
 }
 
-// Snapshot lists the live tenants' shares and desires.
+// Snapshot lists the live tenants' shares, desires, and shed levels.
 func (t *Tenancy) Snapshot() []TenantStatus {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]TenantStatus, 0, len(t.tenants))
 	for _, tn := range t.tenants {
 		out = append(out, TenantStatus{
-			Name:   tn.pool.Name(),
-			Share:  tn.app.Allotment().Size(),
-			Desire: tn.pool.LiveDesire(),
+			Name:      tn.pool.Name(),
+			Share:     tn.app.Allotment().Size(),
+			Desire:    tn.pool.LiveDesire(),
+			ShedLevel: tn.pool.shedLevel.Load(),
 		})
 	}
 	return out

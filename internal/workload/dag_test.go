@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestDAGRegistry(t *testing.T) {
+	want := []string{"mapreduce", "pipeline"}
+	got := DAGNames()
+	if len(got) != len(want) {
+		t.Fatalf("DAGNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DAGNames() = %v, want %v", got, want)
+		}
+	}
+	if _, err := GetDAG("nope"); err == nil {
+		t.Fatal("expected error for unknown DAG workload")
+	}
+}
+
+// TestDAGShapesValid expands both DAG workloads on both platforms and
+// checks structural validity: in-range acyclic (forward-only) deps, at
+// least one root, and every stage's task tree buildable.
+func TestDAGShapesValid(t *testing.T) {
+	for _, name := range DAGNames() {
+		d, err := GetDAG(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Platform{Simulator, NUMA} {
+			stages := d.Stages(p)
+			if len(stages) == 0 {
+				t.Fatalf("%s/%v: empty stage graph", name, p)
+			}
+			roots := 0
+			for i, s := range stages {
+				if len(s.Deps) == 0 {
+					roots++
+				}
+				for _, dep := range s.Deps {
+					if dep < 0 || dep >= i {
+						t.Fatalf("%s/%v stage %d: dep %d not a forward-only index", name, p, i, dep)
+					}
+				}
+				if spec := s.Build(); spec == nil {
+					t.Fatalf("%s/%v stage %d: nil task tree", name, p, i)
+				}
+			}
+			if roots == 0 {
+				t.Fatalf("%s/%v: no root stage", name, p)
+			}
+		}
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	stages := PipelineDAG.Stages(Simulator)
+	for i, s := range stages {
+		if i == 0 {
+			if len(s.Deps) != 0 {
+				t.Fatalf("stage 0 has deps %v", s.Deps)
+			}
+			continue
+		}
+		if len(s.Deps) != 1 || s.Deps[0] != i-1 {
+			t.Fatalf("stage %d deps = %v, want [%d]", i, s.Deps, i-1)
+		}
+	}
+}
+
+func TestMapReduceShape(t *testing.T) {
+	stages := MapReduceDAG.Stages(Simulator)
+	n := len(stages)
+	if n < 3 {
+		t.Fatalf("mapreduce has %d stages", n)
+	}
+	for i := 1; i < n-1; i++ {
+		if len(stages[i].Deps) != 1 || stages[i].Deps[0] != 0 {
+			t.Fatalf("mapper %d deps = %v, want [0]", i, stages[i].Deps)
+		}
+	}
+	reducer := stages[n-1]
+	if len(reducer.Deps) != n-2 {
+		t.Fatalf("reducer joins %d mappers, want %d", len(reducer.Deps), n-2)
+	}
+}

@@ -19,6 +19,11 @@ type rtTask struct {
 	// completion; persistent-mode submissions use it to notify their
 	// waiters.
 	onDone func()
+	// onTerm, when set, fires exactly once after onDone with the job's
+	// terminal disposition: ran=true when the root executed to completion,
+	// ran=false when the shutdown flush discarded it unrun. DAG release in
+	// the serving layer hangs off this hook.
+	onTerm func(ran bool)
 }
 
 // Ctx is the per-task execution context: WOOL's programming interface.

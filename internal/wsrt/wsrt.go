@@ -317,9 +317,9 @@ type Runtime struct {
 	// allotSize and quanta back the live metrics gauges.
 	helperRing *obs.Ring
 	// pump republishes ring events on cfg.Events (nil without a hub).
-	pump *stream.Pump
-	allotSize  atomic.Int64
-	quanta     atomic.Int64
+	pump      *stream.Pump
+	allotSize atomic.Int64
+	quanta    atomic.Int64
 
 	// qseq is the estimation-quantum sequence number. Workers reset their
 	// µ(Q) high-water mark lazily on the first spawn of each quantum
@@ -730,6 +730,15 @@ func (r *Runtime) Start() error {
 // flush — a nil return always means onDone will fire exactly once, either
 // because the job ran or because the shutdown flush discarded it.
 func (r *Runtime) Submit(fn Func, onDone func()) error {
+	return r.SubmitJob(Job{Fn: fn, OnDone: onDone})
+}
+
+// SubmitJob is Submit with the full Job record: in addition to OnDone it
+// honours OnTerminal, which fires exactly once after OnDone with the
+// job's terminal disposition — ran=true when the root executed, ran=false
+// when the shutdown flush discarded it unrun. The serving layer's DAG
+// dependency ledger releases successor nodes from this hook.
+func (r *Runtime) SubmitJob(j Job) error {
 	if !r.persistent {
 		return ErrNotPersistent
 	}
@@ -743,7 +752,7 @@ func (r *Runtime) Submit(fn Func, onDone func()) error {
 		w.seal.RUnlock()
 		return ErrSubmitQueueFull
 	}
-	t := &rtTask{fn: fn, onDone: onDone}
+	t := &rtTask{fn: j.Fn, onDone: j.OnDone, onTerm: j.OnTerminal}
 	target := w
 	if !w.shard.Push(t) {
 		// Cannot happen by construction (every ring is at least
@@ -768,6 +777,10 @@ type Job struct {
 	// OnDone, if non-nil, fires exactly once after the job and all of its
 	// spawns complete (or when the shutdown flush discards the job).
 	OnDone func()
+	// OnTerminal, if non-nil, fires exactly once after OnDone with the
+	// job's disposition: ran=true when the root executed to completion,
+	// ran=false when the shutdown flush discarded it unrun.
+	OnTerminal func(ran bool)
 }
 
 // submitBatchChunk is how many jobs one SubmitBatch iteration reserves
@@ -817,7 +830,7 @@ func (r *Runtime) SubmitBatch(jobs []Job) (n int, err error) {
 			break
 		}
 		for i := 0; i < got; i++ {
-			t := &rtTask{fn: jobs[n].Fn, onDone: jobs[n].OnDone}
+			t := &rtTask{fn: jobs[n].Fn, onDone: jobs[n].OnDone, onTerm: jobs[n].OnTerminal}
 			pw := w
 			if !w.shard.Push(t) {
 				// Cannot happen by construction; see Submit.
@@ -1110,6 +1123,9 @@ func (r *Runtime) Shutdown() (*Report, error) {
 			r.releaseSlot(w.shard)
 			if t.onDone != nil {
 				t.onDone()
+			}
+			if t.onTerm != nil {
+				t.onTerm(false)
 			}
 		}
 	}
@@ -1913,5 +1929,8 @@ func (w *worker) runTask(t *rtTask) {
 	}
 	if t.onDone != nil {
 		t.onDone()
+	}
+	if t.onTerm != nil {
+		t.onTerm(true)
 	}
 }
